@@ -1,0 +1,114 @@
+//! One criterion bench per paper figure, timing the figure's scenario at a
+//! reduced (CI-friendly) scale. The full-scale series themselves are
+//! produced by the `figures` binary; these benches keep every experiment
+//! path exercised and performance-tracked by `cargo bench`.
+
+use bench::scenarios;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tmio::Strategy;
+
+fn cfg(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn fig01_cluster(c: &mut Criterion) {
+    cfg(c).bench_function("fig01_02_motivation", |b| {
+        b.iter(|| {
+            let out = scenarios::motivation();
+            black_box(out.limited.makespan)
+        })
+    });
+}
+
+fn fig03_timeline(c: &mut Criterion) {
+    cfg(c).bench_function("fig03_rank_timeline", |b| {
+        b.iter(|| black_box(scenarios::rank_timeline().app_time()))
+    });
+}
+
+fn fig04_regions(c: &mut Criterion) {
+    use tmio::regions::{max_region, Interval};
+    cfg(c).bench_function("fig04_region_example", |b| {
+        let intervals = [
+            Interval { ts: 0.0, te: 4.0, value: 1.0 },
+            Interval { ts: 1.0, te: 6.0, value: 2.0 },
+            Interval { ts: 2.0, te: 8.0, value: 4.0 },
+        ];
+        b.iter(|| black_box(max_region(black_box(&intervals))))
+    });
+}
+
+fn fig05_hacc_runtime(c: &mut Criterion) {
+    cfg(c).bench_function("fig05_06_hacc_overheads", |b| {
+        b.iter(|| black_box(scenarios::hacc_overheads(&[1, 16], 20_000).len()))
+    });
+}
+
+fn fig07_wacomm_dist(c: &mut Criterion) {
+    cfg(c).bench_function("fig07_wacomm_distribution", |b| {
+        b.iter(|| black_box(scenarios::wacomm_distribution(&[24]).len()))
+    });
+}
+
+fn fig08_09_10_series(c: &mut Criterion) {
+    cfg(c).bench_function("fig08_wacomm_none", |b| {
+        b.iter(|| black_box(scenarios::wacomm_series(24, Strategy::None, 0.0).app_time()))
+    });
+    cfg(c).bench_function("fig09_wacomm_uponly", |b| {
+        b.iter(|| {
+            black_box(
+                scenarios::wacomm_series(24, Strategy::UpOnly { tol: 1.1 }, 0.0).app_time(),
+            )
+        })
+    });
+    cfg(c).bench_function("fig10_wacomm_scale", |b| {
+        b.iter(|| {
+            black_box(
+                scenarios::wacomm_series(48, Strategy::UpOnly { tol: 1.1 }, 1.2).app_time(),
+            )
+        })
+    });
+}
+
+fn fig11_hacc_dist(c: &mut Criterion) {
+    cfg(c).bench_function("fig11_hacc_distribution", |b| {
+        b.iter(|| black_box(scenarios::hacc_distribution(&[16], 20_000).len()))
+    });
+}
+
+fn fig12_structure(c: &mut Criterion) {
+    use hpcwl::hacc::HaccConfig;
+    cfg(c).bench_function("fig12_hacc_program_build", |b| {
+        let cfg = HaccConfig::default();
+        b.iter(|| black_box(cfg.program(mpisim::FileId(0)).len()))
+    });
+}
+
+fn fig13_14_series(c: &mut Criterion) {
+    cfg(c).bench_function("fig13_hacc_strategies", |b| {
+        b.iter(|| {
+            black_box(
+                scenarios::hacc_series(32, 20_000, Strategy::Direct { tol: 1.1 }, false)
+                    .app_time(),
+            )
+        })
+    });
+    cfg(c).bench_function("fig14_hacc_capacity_noise", |b| {
+        b.iter(|| {
+            black_box(
+                scenarios::hacc_series(32, 20_000, Strategy::Direct { tol: 1.1 }, true)
+                    .app_time(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig01_cluster, fig03_timeline, fig04_regions, fig05_hacc_runtime,
+              fig07_wacomm_dist, fig08_09_10_series, fig11_hacc_dist,
+              fig12_structure, fig13_14_series
+}
+criterion_main!(figures);

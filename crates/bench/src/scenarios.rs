@@ -1,0 +1,245 @@
+//! The per-figure scenarios. Each function reproduces one figure of the
+//! paper's evaluation and returns its series/rows; the `figures` binary
+//! prints and CSV-dumps them, the criterion benches time them at reduced
+//! scale. Scale notes live in EXPERIMENTS.md.
+
+use clustersim::{motivation_scenario, Cluster, ClusterResult};
+use hpcwl::hacc::HaccConfig;
+use hpcwl::wacomm::WacommConfig;
+use iobts::experiments::{run_hacc, run_wacomm, ExpConfig, RunOutput};
+use simcore::Noise;
+use tmio::Strategy;
+
+/// Fig. 1/2 output: both cluster runs.
+pub struct MotivationOut {
+    /// Without limiting.
+    pub free: ClusterResult,
+    /// Job 4 capped at its required bandwidth during contention.
+    pub limited: ClusterResult,
+}
+
+/// Figs. 1–2: the batch-simulator motivation study.
+pub fn motivation() -> MotivationOut {
+    let (cfg, jobs_free) = motivation_scenario(false, 1.0);
+    let (_, jobs_limited) = motivation_scenario(true, 1.0);
+    MotivationOut {
+        free: Cluster::new(cfg, jobs_free).run(),
+        limited: Cluster::new(cfg, jobs_limited).run(),
+    }
+}
+
+/// Fig. 3: a single-rank trace exposing Δt (submit → wait) vs Δtᵃ
+/// (submit → completion) per phase.
+pub fn rank_timeline() -> RunOutput {
+    let hacc = HaccConfig { particles_per_rank: 200_000, loops: 4, ..Default::default() };
+    run_hacc(
+        &ExpConfig::new(1, Strategy::None).exact(),
+        &hacc,
+    )
+}
+
+/// Fig. 5/6 rows: one entry per rank count and strategy.
+pub struct OverheadRow {
+    /// Rank count.
+    pub ranks: usize,
+    /// Strategy name ("direct" run 0 / "none" run 1).
+    pub run: &'static str,
+    /// Application time (s).
+    pub app: f64,
+    /// Peri-runtime overhead (s, summed over ranks).
+    pub peri: f64,
+    /// Post-runtime overhead (s).
+    pub post: f64,
+    /// Total (app + post).
+    pub total: f64,
+    /// Visible I/O percentage of total rank-time.
+    pub visible_pct: f64,
+    /// Compute percentage.
+    pub compute_pct: f64,
+}
+
+/// Figs. 5 & 6: HACC-IO runtime and overhead decomposition vs rank count,
+/// with the direct strategy (run 0) and without limiting (run 1).
+pub fn hacc_overheads(ranks: &[usize], particles: u64) -> Vec<OverheadRow> {
+    let mut rows = Vec::new();
+    for &n in ranks {
+        for (run, strategy) in [
+            ("direct", Strategy::Direct { tol: 1.1 }),
+            ("none", Strategy::None),
+        ] {
+            let mut cfg = ExpConfig::new(n, strategy);
+            cfg.record_pfs = false;
+            let hacc = HaccConfig { particles_per_rank: particles, ..Default::default() };
+            let out = run_hacc(&cfg, &hacc);
+            let d = out.report.decomposition();
+            let denom = d.total + out.report.post_overhead * n as f64;
+            rows.push(OverheadRow {
+                ranks: n,
+                run,
+                app: out.app_time(),
+                peri: out.report.peri_overhead,
+                post: out.report.post_overhead,
+                total: out.total_time(),
+                visible_pct: 100.0 * d.visible_io() / denom.max(1e-12),
+                compute_pct: 100.0 * (d.compute_io_free + d.exploit()) / denom.max(1e-12),
+            });
+        }
+    }
+    rows
+}
+
+/// One stacked bar of Figs. 7/11.
+pub struct DistRow {
+    /// Rank count.
+    pub ranks: usize,
+    /// Run index within the rank group.
+    pub run: usize,
+    /// Strategy name.
+    pub strategy: &'static str,
+    /// Percentages: sync write, sync read, async write lost, async read
+    /// lost, async write exploit, async read exploit, compute (I/O free).
+    pub pct: [f64; 7],
+    /// Application runtime (s).
+    pub app: f64,
+}
+
+/// Fig. 7: WaComM time distribution across ranks; runs 0-1 direct (tol 2),
+/// 2-3 up-only (tol 1.1), 4-5 none.
+pub fn wacomm_distribution(ranks: &[usize]) -> Vec<DistRow> {
+    let runs: [(&'static str, Strategy); 6] = [
+        ("direct", Strategy::Direct { tol: 2.0 }),
+        ("direct", Strategy::Direct { tol: 2.0 }),
+        ("up-only", Strategy::UpOnly { tol: 1.1 }),
+        ("up-only", Strategy::UpOnly { tol: 1.1 }),
+        ("none", Strategy::None),
+        ("none", Strategy::None),
+    ];
+    let wc = WacommConfig::default();
+    let mut rows = Vec::new();
+    for &n in ranks {
+        for (i, (name, strategy)) in runs.iter().enumerate() {
+            let mut cfg = ExpConfig::new(n, *strategy);
+            cfg.seed = 2024 + i as u64; // repeated runs differ by seed
+            cfg.record_pfs = false;
+            let out = run_wacomm(&cfg, &wc);
+            let d = out.report.decomposition();
+            rows.push(DistRow {
+                ranks: n,
+                run: i,
+                strategy: name,
+                pct: d.percentages(),
+                app: out.app_time(),
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 11: HACC-IO time distribution; runs 0-1 direct, 2-3 up-only,
+/// 4-5 adaptive, 6-7 none (all tol = 1.1).
+pub fn hacc_distribution(ranks: &[usize], particles: u64) -> Vec<DistRow> {
+    let runs: [(&'static str, Strategy); 8] = [
+        ("direct", Strategy::Direct { tol: 1.1 }),
+        ("direct", Strategy::Direct { tol: 1.1 }),
+        ("up-only", Strategy::UpOnly { tol: 1.1 }),
+        ("up-only", Strategy::UpOnly { tol: 1.1 }),
+        ("adaptive", Strategy::Adaptive { tol: 1.1, tol_i: 0.5 }),
+        ("adaptive", Strategy::Adaptive { tol: 1.1, tol_i: 0.5 }),
+        ("none", Strategy::None),
+        ("none", Strategy::None),
+    ];
+    let hacc = HaccConfig { particles_per_rank: particles, ..Default::default() };
+    let mut rows = Vec::new();
+    for &n in ranks {
+        for (i, (name, strategy)) in runs.iter().enumerate() {
+            let mut cfg = ExpConfig::new(n, *strategy);
+            cfg.seed = 2024 + i as u64;
+            cfg.record_pfs = false;
+            let out = run_hacc(&cfg, &hacc);
+            let d = out.report.decomposition();
+            rows.push(DistRow {
+                ranks: n,
+                run: i,
+                strategy: name,
+                pct: d.percentages(),
+                app: out.app_time(),
+            });
+        }
+    }
+    rows
+}
+
+/// Figs. 8/9/10: one WaComM run with full series recording.
+pub fn wacomm_series(ranks: usize, strategy: Strategy, interference: f64) -> RunOutput {
+    let mut cfg = ExpConfig::new(ranks, strategy);
+    cfg.interference_alpha = interference;
+    run_wacomm(&cfg, &WacommConfig::default())
+}
+
+/// Figs. 13/14: one HACC-IO run with full series recording; optional PFS
+/// capacity noise reproduces the I/O-variability of Fig. 14.
+pub fn hacc_series(
+    ranks: usize,
+    particles: u64,
+    strategy: Strategy,
+    capacity_noise: bool,
+) -> RunOutput {
+    let mut cfg = ExpConfig::new(ranks, strategy);
+    if capacity_noise {
+        // Occasional deep capacity dips: a competing job's burst steals most
+        // of the PFS, so even limit-paced transfers miss their windows.
+        cfg.capacity_noise = Some(mpisim::CapacityNoiseCfg {
+            period: 1.5,
+            noise: Noise::Spike { prob: 0.25, factor: 0.004 },
+        });
+    }
+    let hacc = HaccConfig { particles_per_rank: particles, ..Default::default() };
+    run_hacc(&cfg, &hacc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivation_runs_and_helps() {
+        let out = motivation();
+        assert_eq!(out.free.jobs.len(), 8);
+        // Aggregate sync-job runtime must improve with the limit.
+        let sum = |r: &ClusterResult| -> f64 {
+            r.jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 4)
+                .map(|(_, j)| j.runtime())
+                .sum()
+        };
+        assert!(sum(&out.limited) < sum(&out.free));
+    }
+
+    #[test]
+    fn rank_timeline_has_phases() {
+        let out = rank_timeline();
+        assert_eq!(out.report.phases.iter().filter(|p| p.rank == 0).count(), 8);
+    }
+
+    #[test]
+    fn hacc_overhead_rows_cover_sweep() {
+        let rows = hacc_overheads(&[1, 4], 20_000);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.total >= r.app);
+            assert!(r.peri < 0.01 * r.app * r.ranks as f64, "peri small");
+        }
+    }
+
+    #[test]
+    fn distribution_percentages_sum_to_100() {
+        let rows = wacomm_distribution(&[24]);
+        assert_eq!(rows.len(), 6);
+        for r in rows {
+            let s: f64 = r.pct.iter().sum();
+            assert!((s - 100.0).abs() < 1e-6, "{s}");
+        }
+    }
+}

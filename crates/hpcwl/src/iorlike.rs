@@ -1,0 +1,154 @@
+//! An IOR-like parametric I/O pattern generator.
+//!
+//! IOR is the standard synthetic I/O benchmark; this generator produces the
+//! same family of periodic patterns (segments of block-sized transfers,
+//! read/write mix, sync/async) as rank programs. Used by the ablation
+//! benches and as the generic "other job" workload in contention studies.
+
+use mpisim::{FileId, Op, Program, ReqTag};
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction mix of a pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// Write-only segments (checkpoint style — the dominant HPC pattern).
+    WriteOnly,
+    /// Read-only segments (restart/analysis style).
+    ReadOnly,
+    /// Write then read per segment.
+    ReadWrite,
+}
+
+/// How transfers are issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueMode {
+    /// Blocking calls: I/O time adds to runtime.
+    Sync,
+    /// Non-blocking calls overlapped with the following compute phase.
+    Async,
+}
+
+/// IOR-like pattern parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IorConfig {
+    /// Number of segments (I/O phases).
+    pub segments: usize,
+    /// Bytes moved per rank per segment.
+    pub block_bytes: f64,
+    /// Compute seconds between segments.
+    pub compute_seconds: f64,
+    /// Direction mix.
+    pub mode: AccessMode,
+    /// Sync or async issuing.
+    pub issue: IssueMode,
+}
+
+impl Default for IorConfig {
+    fn default() -> Self {
+        IorConfig {
+            segments: 10,
+            block_bytes: 16e6,
+            compute_seconds: 1.0,
+            mode: AccessMode::WriteOnly,
+            issue: IssueMode::Async,
+        }
+    }
+}
+
+impl IorConfig {
+    /// Builds the per-rank program against `file`.
+    pub fn program(&self, file: FileId) -> Program {
+        let mut ops = Vec::new();
+        let mut tag = 0u32;
+        for _ in 0..self.segments {
+            match self.issue {
+                IssueMode::Sync => {
+                    match self.mode {
+                        AccessMode::WriteOnly => ops.push(Op::Write { file, bytes: self.block_bytes }),
+                        AccessMode::ReadOnly => ops.push(Op::Read { file, bytes: self.block_bytes }),
+                        AccessMode::ReadWrite => {
+                            ops.push(Op::Write { file, bytes: self.block_bytes });
+                            ops.push(Op::Read { file, bytes: self.block_bytes });
+                        }
+                    }
+                    ops.push(Op::Compute { seconds: self.compute_seconds });
+                }
+                IssueMode::Async => {
+                    let mut tags = Vec::new();
+                    match self.mode {
+                        AccessMode::WriteOnly => {
+                            ops.push(Op::IWrite { file, bytes: self.block_bytes, tag: ReqTag(tag) });
+                            tags.push(tag);
+                            tag += 1;
+                        }
+                        AccessMode::ReadOnly => {
+                            ops.push(Op::IRead { file, bytes: self.block_bytes, tag: ReqTag(tag) });
+                            tags.push(tag);
+                            tag += 1;
+                        }
+                        AccessMode::ReadWrite => {
+                            ops.push(Op::IWrite { file, bytes: self.block_bytes, tag: ReqTag(tag) });
+                            ops.push(Op::IRead { file, bytes: self.block_bytes, tag: ReqTag(tag + 1) });
+                            tags.push(tag);
+                            tags.push(tag + 1);
+                            tag += 2;
+                        }
+                    }
+                    ops.push(Op::Compute { seconds: self.compute_seconds });
+                    for t in tags {
+                        ops.push(Op::Wait { tag: ReqTag(t) });
+                    }
+                }
+            }
+        }
+        Program::from_ops(ops)
+    }
+
+    /// Total bytes a rank moves over the whole pattern.
+    pub fn total_bytes(&self) -> f64 {
+        let per_seg = match self.mode {
+            AccessMode::WriteOnly | AccessMode::ReadOnly => self.block_bytes,
+            AccessMode::ReadWrite => 2.0 * self.block_bytes,
+        };
+        per_seg * self.segments as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_programs_validate() {
+        for mode in [AccessMode::WriteOnly, AccessMode::ReadOnly, AccessMode::ReadWrite] {
+            let cfg = IorConfig { mode, issue: IssueMode::Async, ..Default::default() };
+            assert!(cfg.program(FileId(0)).validate().is_ok(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn sync_programs_have_no_waits() {
+        let cfg = IorConfig { issue: IssueMode::Sync, ..Default::default() };
+        let p = cfg.program(FileId(0));
+        assert!(!p.ops().iter().any(|o| matches!(o, Op::Wait { .. })));
+    }
+
+    #[test]
+    fn readwrite_doubles_bytes() {
+        let w = IorConfig { mode: AccessMode::WriteOnly, ..Default::default() };
+        let rw = IorConfig { mode: AccessMode::ReadWrite, ..Default::default() };
+        assert_eq!(rw.total_bytes(), 2.0 * w.total_bytes());
+    }
+
+    #[test]
+    fn segment_count_respected() {
+        let cfg = IorConfig { segments: 7, issue: IssueMode::Async, ..Default::default() };
+        let p = cfg.program(FileId(0));
+        let submits = p
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, Op::IWrite { .. }))
+            .count();
+        assert_eq!(submits, 7);
+    }
+}

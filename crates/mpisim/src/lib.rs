@@ -1,0 +1,32 @@
+//! # mpisim — an MPI-like virtual-time runtime with asynchronous MPI-IO
+//!
+//! The execution substrate replacing MPICH/ROMIO in this reproduction of
+//! *"I/O Behind the Scenes"* (CLUSTER 2024). It provides:
+//!
+//! * ranks executing [`Program`]s (scripted) or user closures
+//!   ([`threaded::Threaded`]) in exact virtual time,
+//! * synchronizing collectives (barrier, bcast) with a latency/bandwidth
+//!   cost model,
+//! * MPI-IO: blocking (`write`/`read`) and non-blocking (`iwrite`/`iread` +
+//!   `wait`) file operations against a [`pfsim`] parallel file system,
+//! * the paper's **ADIO bandwidth-limitation layer** (Sec. V): every I/O op
+//!   runs on a per-request I/O thread that splits it into sub-requests and
+//!   paces them against the rank's current limit (Case A sleeps / Case B
+//!   deficit accounting),
+//! * the PMPI-style observation boundary ([`IoHooks`]) and the limit
+//!   control surface ([`Limits`]) that TMIO plugs into.
+
+#![warn(missing_docs)]
+
+mod hooks;
+mod ops;
+/// Closure-per-rank front end (each rank is an OS thread in virtual time).
+pub mod threaded;
+mod world;
+
+pub use hooks::{IoHooks, Limits, NoHooks};
+pub use ops::{FileId, Op, Program, ReqTag};
+pub use pfsim::Channel;
+pub use world::{
+    CapacityNoiseCfg, RankAccounting, RankDriver, RunSummary, ScriptedDriver, World, WorldConfig,
+};

@@ -1,0 +1,1101 @@
+//! The virtual-time MPI world: rank interpreter, collectives, and the
+//! ADIO-style I/O thread with sub-request pacing.
+//!
+//! Execution model (mirrors the paper's modified MPICH, Sec. V):
+//!
+//! * every MPI-IO call is redirected to a per-rank **I/O thread**;
+//! * asynchronous ops return immediately to the rank and are backed by a
+//!   generalized-request analogue ([`crate::ops::ReqTag`]);
+//! * the I/O thread splits each request into fixed-size **sub-requests**,
+//!   executes each as a blocking PFS transfer, then compares the achieved
+//!   time with the required time `size / limit`:
+//!   - **Case A** (too fast): sleep the difference,
+//!   - **Case B** (too slow): accumulate the overshoot as a *deficit* that
+//!     shortens later sleeps;
+//! * the per-rank limit is read fresh at every sub-request boundary, so a
+//!   tool updating [`crate::hooks::Limits`] mid-request takes effect like a
+//!   shared variable would.
+
+use crate::hooks::{IoHooks, Limits};
+use crate::ops::{FileId, Op, Program, ReqTag};
+use pfsim::{BurstBuffer, BurstBufferConfig, Channel, FlowId, FlowSpec, Pfs, PfsConfig};
+use simcore::{rank_phase_stream, stream_rng, EventKey, EventQueue, Noise, SimTime, StepSeries};
+use std::collections::HashMap;
+
+/// Configuration of a simulated run.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Number of MPI ranks.
+    pub n_ranks: usize,
+    /// PFS channel capacities.
+    pub pfs: PfsConfig,
+    /// ADIO sub-request size in bytes (paper: "predefined size").
+    pub subreq_bytes: f64,
+    /// Noise applied to every `Compute` op's nominal duration.
+    pub compute_noise: Noise,
+    /// Collective latency term (seconds per tree level).
+    pub net_latency: f64,
+    /// Collective bandwidth term (bytes/s).
+    pub net_bandwidth: f64,
+    /// Memory-copy bandwidth for `Memcpy` ops (bytes/s).
+    pub memcpy_bandwidth: f64,
+    /// Whether the modified-MPICH limiter is active (limits take effect).
+    pub limiter_enabled: bool,
+    /// Master seed for all noise streams.
+    pub seed: u64,
+    /// Optional periodic PFS capacity noise (I/O variability, Fig. 14).
+    pub capacity_noise: Option<CapacityNoiseCfg>,
+    /// I/O↔compute interference strength (the resource competition of
+    /// background I/O threads, ref. \[33\] in the paper). Each completed
+    /// sub-request charges its rank a CPU toll of
+    /// `alpha · (concurrent flows / ranks) · subreq_bytes / capacity`,
+    /// applied to the rank's next compute phase — bursty synchronized I/O
+    /// perturbs compute, paced I/O barely does. 0 disables the effect.
+    pub interference_alpha: f64,
+    /// Optional per-rank burst-buffer tier (the paper's future-work
+    /// extension): write calls complete at absorption speed and a
+    /// background drain flow — capped at the drain rate and, when the
+    /// limiter is active, at the rank's bandwidth limit — carries the bytes
+    /// to the PFS. Reads bypass the buffer.
+    pub burst_buffer: Option<BurstBufferConfig>,
+    /// Whether the ADIO limiter also paces *blocking* I/O calls. The
+    /// paper's MPICH extension limits synchronous and asynchronous
+    /// operations alike (Sec. V), so this defaults to true; set false to
+    /// ablate the cost of throttled trailing sync writes.
+    pub limit_sync_ops: bool,
+    /// Record PFS rate series (disable for large sweeps).
+    pub record_pfs: bool,
+}
+
+/// Periodic multiplicative noise on PFS capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct CapacityNoiseCfg {
+    /// Re-draw period in seconds.
+    pub period: f64,
+    /// Noise model for the capacity factor.
+    pub noise: Noise,
+}
+
+impl WorldConfig {
+    /// A world with paper-like defaults for `n_ranks` ranks.
+    pub fn new(n_ranks: usize) -> Self {
+        WorldConfig {
+            n_ranks,
+            pfs: PfsConfig::default(),
+            subreq_bytes: 1024.0 * 1024.0,
+            compute_noise: Noise::None,
+            net_latency: 5e-6,
+            net_bandwidth: 12.5e9,
+            memcpy_bandwidth: 10e9,
+            limiter_enabled: false,
+            seed: 0xD5EA_5EED,
+            capacity_noise: None,
+            interference_alpha: 0.0,
+            burst_buffer: None,
+            limit_sync_ops: true,
+            record_pfs: true,
+        }
+    }
+
+    /// Enables the bandwidth limiter (builder style).
+    pub fn with_limiter(mut self, on: bool) -> Self {
+        self.limiter_enabled = on;
+        self
+    }
+
+    /// Sets the compute-noise model (builder style).
+    pub fn with_compute_noise(mut self, noise: Noise) -> Self {
+        self.compute_noise = noise;
+        self
+    }
+
+    /// Sets the master seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Provides each rank's next op. Scripted programs and the threaded closure
+/// API both implement this.
+pub trait RankDriver: Send {
+    /// Returns rank `rank`'s next op at virtual time `now`, or `None` when
+    /// the rank's program is finished. For external drivers this call also
+    /// acknowledges completion of the previous op.
+    fn next_op(&mut self, rank: usize, now: SimTime) -> Option<Op>;
+
+    /// Delivers the outcome of an [`Op::Test`] before the next `next_op`
+    /// call (external drivers forward it to the application thread).
+    fn on_test_result(&mut self, rank: usize, done: bool) {
+        let _ = (rank, done);
+    }
+}
+
+/// Driver over pre-built [`Program`]s.
+pub struct ScriptedDriver {
+    programs: Vec<Program>,
+    pcs: Vec<usize>,
+}
+
+impl ScriptedDriver {
+    /// Creates a driver; one program per rank.
+    pub fn new(programs: Vec<Program>) -> Self {
+        for (i, p) in programs.iter().enumerate() {
+            if let Err(e) = p.validate() {
+                panic!("rank {i} program invalid: {e}");
+            }
+        }
+        let pcs = vec![0; programs.len()];
+        ScriptedDriver { programs, pcs }
+    }
+}
+
+impl RankDriver for ScriptedDriver {
+    fn next_op(&mut self, rank: usize, _now: SimTime) -> Option<Op> {
+        let pc = self.pcs[rank];
+        let op = self.programs[rank].ops().get(pc).copied();
+        if op.is_some() {
+            self.pcs[rank] = pc + 1;
+        }
+        op
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TaskId(u64);
+
+/// The per-request I/O-thread state (one in-flight MPI-IO operation).
+struct IoTask {
+    rank: usize,
+    /// `Some` for async requests; `None` for blocking calls.
+    tag: Option<ReqTag>,
+    channel: Channel,
+    bytes_left: f64,
+    /// Deficit accumulated by Case B, spent shortening Case A sleeps.
+    deficit: f64,
+    /// Size and start time of the sub-request currently on the PFS.
+    subreq_bytes: f64,
+    subreq_started: SimTime,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum BlockKind {
+    Compute,
+    Overhead,
+    SyncIo(TaskId),
+    Wait(ReqTag),
+    Collective(u64),
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockKind),
+    Done,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ReqState {
+    InFlight,
+    Completed,
+}
+
+/// Cumulative per-rank time accounting kept by the runtime itself (tools
+/// like TMIO keep richer records through hooks; this is the ground truth the
+/// tests cross-check against).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankAccounting {
+    /// Seconds in `Compute` ops.
+    pub compute: f64,
+    /// Seconds in `Memcpy` ops.
+    pub memcpy: f64,
+    /// Seconds blocked in synchronous writes.
+    pub sync_write: f64,
+    /// Seconds blocked in synchronous reads.
+    pub sync_read: f64,
+    /// Seconds blocked in `Wait` for write requests ("async write lost").
+    pub wait_write: f64,
+    /// Seconds blocked in `Wait` for read requests ("async read lost").
+    pub wait_read: f64,
+    /// Seconds blocked in collectives.
+    pub collective: f64,
+    /// Seconds of injected tool overhead (peri-runtime).
+    pub overhead: f64,
+}
+
+struct RankState {
+    status: Status,
+    requests: HashMap<ReqTag, ReqState>,
+    req_channel: HashMap<ReqTag, Channel>,
+    compute_count: u64,
+    collective_seq: u64,
+    wait_entered: SimTime,
+    sync_entered: SimTime,
+    sync_bytes: f64,
+    pending_toll: f64,
+    /// Tag currently being poll-waited (guards the one-shot wait-enter hook).
+    polling: Option<ReqTag>,
+    /// Op to re-execute on next resume (PollWait retry).
+    pending_repeat: Option<Op>,
+    acct: RankAccounting,
+    finished_at: Option<SimTime>,
+}
+
+impl RankState {
+    fn new() -> Self {
+        RankState {
+            status: Status::Runnable,
+            requests: HashMap::new(),
+            req_channel: HashMap::new(),
+            compute_count: 0,
+            collective_seq: 0,
+            wait_entered: SimTime::ZERO,
+            sync_entered: SimTime::ZERO,
+            sync_bytes: 0.0,
+            pending_toll: 0.0,
+            polling: None,
+            pending_repeat: None,
+            acct: RankAccounting::default(),
+            finished_at: None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum CollKind {
+    Barrier,
+    Bcast(f64),
+    /// Two-phase collective I/O: per-rank bytes on the given channel.
+    CollIo(Channel, f64),
+}
+
+struct Collective {
+    kind: CollKind,
+    arrived: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Resume(usize),
+    PfsWake,
+    IoTaskNext(TaskId),
+    /// A burst-buffer absorption finished (write path with BB configured).
+    BbDone(TaskId),
+    /// Two-phase collective I/O: the shuffle finished, aggregators start.
+    CollIoStart(u64),
+    CollectiveRelease(u64),
+    CapacityTick(u64),
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Time the last rank finished (the application makespan).
+    pub end_time: SimTime,
+    /// Per-rank finish times.
+    pub finished_at: Vec<SimTime>,
+    /// Per-rank time accounting.
+    pub accounting: Vec<RankAccounting>,
+}
+
+impl RunSummary {
+    /// Makespan in seconds.
+    pub fn makespan(&self) -> f64 {
+        self.end_time.as_secs()
+    }
+}
+
+/// The simulated MPI world. See module docs.
+pub struct World<H: IoHooks> {
+    cfg: WorldConfig,
+    queue: EventQueue<Event>,
+    pfs: Pfs,
+    pfs_wake: Option<EventKey>,
+    ranks: Vec<RankState>,
+    limits: Limits,
+    hooks: Option<H>,
+    driver: Box<dyn RankDriver>,
+    tasks: HashMap<TaskId, IoTask>,
+    next_task: u64,
+    flow_task: HashMap<FlowId, TaskId>,
+    collectives: HashMap<u64, Collective>,
+    files: Vec<(String, f64)>,
+    /// Per-rank burst buffers when configured.
+    bbs: Vec<BurstBuffer>,
+    /// Background drain flows (no task attached).
+    background_flows: std::collections::HashSet<FlowId>,
+    /// Collective-I/O flows -> collective id, and per-id outstanding count.
+    coll_flows: HashMap<FlowId, u64>,
+    coll_pending: HashMap<u64, usize>,
+    live_ranks: usize,
+    cap_tick: u64,
+    cap_rng: rand::rngs::SmallRng,
+}
+
+impl<H: IoHooks> World<H> {
+    /// Builds a world executing `driver` under observer `hooks`.
+    pub fn with_driver(cfg: WorldConfig, driver: Box<dyn RankDriver>, hooks: H) -> Self {
+        assert!(cfg.n_ranks > 0, "need at least one rank");
+        assert!(cfg.subreq_bytes > 0.0, "sub-request size must be positive");
+        let mut pfs = Pfs::new(cfg.pfs);
+        pfs.set_recording(cfg.record_pfs);
+        let limits = Limits::new(cfg.n_ranks, cfg.limiter_enabled);
+        let cap_rng = stream_rng(cfg.seed ^ 0xCAFE_F00D, 0);
+        let bbs = match cfg.burst_buffer {
+            Some(bc) => (0..cfg.n_ranks).map(|_| BurstBuffer::new(bc)).collect(),
+            None => Vec::new(),
+        };
+        let ranks = (0..cfg.n_ranks).map(|_| RankState::new()).collect();
+        let live_ranks = cfg.n_ranks;
+        World {
+            cfg,
+            queue: EventQueue::new(),
+            pfs,
+            pfs_wake: None,
+            ranks,
+            limits,
+            hooks: Some(hooks),
+            driver,
+            tasks: HashMap::new(),
+            next_task: 0,
+            flow_task: HashMap::new(),
+            collectives: HashMap::new(),
+            files: Vec::new(),
+            bbs,
+            background_flows: std::collections::HashSet::new(),
+            coll_flows: HashMap::new(),
+            coll_pending: HashMap::new(),
+            live_ranks,
+            cap_tick: 0,
+            cap_rng,
+        }
+    }
+
+    /// Builds a world over scripted per-rank programs.
+    pub fn new(cfg: WorldConfig, programs: Vec<Program>, hooks: H) -> Self {
+        assert_eq!(
+            programs.len(),
+            cfg.n_ranks,
+            "one program per rank required"
+        );
+        Self::with_driver(cfg, Box::new(ScriptedDriver::new(programs)), hooks)
+    }
+
+    /// Registers a simulated file.
+    pub fn create_file(&mut self, name: &str) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push((name.to_string(), 0.0));
+        id
+    }
+
+    /// Total bytes ever written to `file`.
+    pub fn file_bytes(&self, file: FileId) -> f64 {
+        self.files[file.0 as usize].1
+    }
+
+    /// Access to the observer (e.g. to pull TMIO's report after `run`).
+    pub fn hooks(&self) -> &H {
+        self.hooks.as_ref().expect("hooks present")
+    }
+
+    /// Mutable access to the observer.
+    pub fn hooks_mut(&mut self) -> &mut H {
+        self.hooks.as_mut().expect("hooks present")
+    }
+
+    /// Consumes the world, returning the observer and its recordings.
+    pub fn into_hooks(self) -> H {
+        self.hooks.expect("hooks present")
+    }
+
+    /// The PFS rate series of a channel (for plots).
+    pub fn pfs_series(&self, channel: Channel) -> &StepSeries {
+        self.pfs.total_series(channel)
+    }
+
+    /// The configured world parameters.
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// Current per-rank limits (stored values, for inspection).
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Runs the world to completion and returns the summary.
+    ///
+    /// Panics on deadlock (ranks blocked with no pending events), which
+    /// indicates an invalid program (e.g. mismatched collectives).
+    pub fn run(&mut self) -> RunSummary {
+        if let Some(cn) = self.cfg.capacity_noise {
+            self.queue.schedule_in(cn.period, Event::CapacityTick(0));
+        }
+        // Kick off every rank at t = 0.
+        for rank in 0..self.cfg.n_ranks {
+            if self.ranks[rank].status == Status::Runnable {
+                self.step_rank(rank);
+            }
+        }
+        while self.live_ranks > 0 {
+            let Some((t, ev)) = self.queue.pop() else {
+                let blocked: Vec<usize> = self
+                    .ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.status != Status::Done)
+                    .map(|(i, _)| i)
+                    .collect();
+                panic!(
+                    "deadlock: no events pending but ranks {blocked:?} are not done \
+                     (mismatched collectives or waits?)"
+                );
+            };
+            self.handle(t, ev);
+        }
+        let finished_at: Vec<SimTime> = self
+            .ranks
+            .iter()
+            .map(|r| r.finished_at.expect("rank finished"))
+            .collect();
+        let end_time = finished_at
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        // Close the PFS series at the end of the run.
+        self.drain_pfs();
+        RunSummary {
+            end_time,
+            accounting: self.ranks.iter().map(|r| r.acct).collect(),
+            finished_at,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+
+    fn handle(&mut self, t: SimTime, ev: Event) {
+        if std::env::var_os("MPISIM_TRACE").is_some() {
+            eprintln!("[{t:?}] {ev:?} queue={}", self.queue.len());
+        }
+        match ev {
+            Event::Resume(rank) => {
+                debug_assert!(matches!(self.ranks[rank].status, Status::Blocked(_)));
+                self.ranks[rank].status = Status::Runnable;
+                self.step_rank(rank);
+            }
+            Event::PfsWake => {
+                self.pfs_wake = None;
+                self.drain_pfs();
+                self.resync_pfs();
+            }
+            Event::IoTaskNext(task) => {
+                self.start_subrequest(task);
+                self.resync_pfs();
+            }
+            Event::BbDone(id) => {
+                let task = self.tasks.remove(&id).expect("bb task exists");
+                let now = self.queue.now();
+                self.finish_task(now, id, task);
+            }
+            Event::CollIoStart(id) => {
+                self.start_coll_io(id);
+            }
+            Event::CollectiveRelease(id) => {
+                let coll = self.collectives.remove(&id).expect("collective exists");
+                debug_assert_eq!(coll.arrived, self.cfg.n_ranks);
+                for rank in 0..self.cfg.n_ranks {
+                    if self.ranks[rank].status == Status::Blocked(BlockKind::Collective(id)) {
+                        let entered = self.ranks[rank].wait_entered;
+                        match coll.kind {
+                            // Collective I/O counts as visible (sync) I/O
+                            // and reports through the sync-end hook.
+                            CollKind::CollIo(channel, bytes) => {
+                                match channel {
+                                    Channel::Write => {
+                                        self.ranks[rank].acct.sync_write += t - entered
+                                    }
+                                    Channel::Read => {
+                                        self.ranks[rank].acct.sync_read += t - entered
+                                    }
+                                }
+                                let mut hooks = self.hooks.take().expect("hooks");
+                                let o = hooks.on_sync_end(t, rank, bytes, channel, &mut self.limits);
+                                self.hooks = Some(hooks);
+                                self.ranks[rank].acct.overhead += o;
+                            }
+                            _ => self.ranks[rank].acct.collective += t - entered,
+                        }
+                        self.ranks[rank].status = Status::Runnable;
+                        self.step_rank(rank);
+                    }
+                }
+            }
+            Event::CapacityTick(i) => {
+                let cn = self.cfg.capacity_noise.expect("configured");
+                // One factor for both channels: congestion from a competing
+                // job hits the whole file system, not one direction.
+                let f = cn.noise.factor(&mut self.cap_rng);
+                self.drain_pfs();
+                let now = self.queue.now();
+                self.pfs
+                    .set_capacity(now, Channel::Write, self.cfg.pfs.write_capacity * f);
+                self.pfs
+                    .set_capacity(now, Channel::Read, self.cfg.pfs.read_capacity * f);
+                self.cap_tick = i + 1;
+                self.queue
+                    .schedule_in(cn.period, Event::CapacityTick(i + 1));
+                self.resync_pfs();
+            }
+        }
+    }
+
+    /// Drains PFS completions up to `now`, handling each. Loops because a
+    /// pacing-free task may chain its next sub-request at the same instant.
+    fn drain_pfs(&mut self) {
+        let mut iters = 0u32;
+        loop {
+            let now = self.queue.now();
+            let done = self.pfs.advance_to(now);
+            if done.is_empty() {
+                return;
+            }
+            iters += 1;
+            if iters > 10_000 {
+                panic!("drain_pfs livelock at {now:?}: {} completions pending", done.len());
+            }
+            for (ct, flow) in done {
+                self.on_flow_complete(ct, flow);
+            }
+        }
+    }
+
+    /// Re-schedules the single PFS wake event at the next completion time.
+    fn resync_pfs(&mut self) {
+        let target = self.pfs.next_completion();
+        if let Some(key) = self.pfs_wake.take() {
+            self.queue.cancel(key);
+        }
+        if let Some(t) = target {
+            let t = t.max(self.queue.now());
+            self.pfs_wake = Some(self.queue.schedule(t, Event::PfsWake));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rank interpreter
+
+    /// Executes ops for `rank` until it blocks or finishes.
+    fn step_rank(&mut self, rank: usize) {
+        loop {
+            debug_assert_eq!(self.ranks[rank].status, Status::Runnable);
+            let now = self.queue.now();
+            let repeat = self.ranks[rank].pending_repeat.take();
+            let Some(op) = repeat.or_else(|| self.driver.next_op(rank, now)) else {
+                self.ranks[rank].status = Status::Done;
+                self.ranks[rank].finished_at = Some(now);
+                self.live_ranks -= 1;
+                let mut hooks = self.hooks.take().expect("hooks");
+                hooks.on_rank_done(now, rank);
+                self.hooks = Some(hooks);
+                return;
+            };
+            if self.exec_op(rank, op) {
+                return; // blocked
+            }
+        }
+    }
+
+    /// Executes one op. Returns true if the rank is now blocked.
+    fn exec_op(&mut self, rank: usize, op: Op) -> bool {
+        match op {
+            Op::Compute { seconds } => {
+                let idx = self.ranks[rank].compute_count;
+                self.ranks[rank].compute_count += 1;
+                let mut rng =
+                    stream_rng(self.cfg.seed, rank_phase_stream(rank, idx as usize));
+                let mut dur = self.cfg.compute_noise.apply(seconds, &mut rng);
+                // Interference toll from I/O-thread activity ([33]).
+                dur += std::mem::take(&mut self.ranks[rank].pending_toll);
+                self.ranks[rank].acct.compute += dur;
+                self.block_for(rank, dur, BlockKind::Compute)
+            }
+            Op::Memcpy { bytes } => {
+                let dur = bytes / self.cfg.memcpy_bandwidth;
+                self.ranks[rank].acct.memcpy += dur;
+                self.block_for(rank, dur, BlockKind::Compute)
+            }
+            Op::Barrier => self.enter_collective(rank, CollKind::Barrier),
+            Op::Bcast { bytes } => self.enter_collective(rank, CollKind::Bcast(bytes)),
+            Op::WriteAll { file, bytes } => {
+                self.exec_coll_io(rank, file, bytes, Channel::Write)
+            }
+            Op::ReadAll { file, bytes } => {
+                self.exec_coll_io(rank, file, bytes, Channel::Read)
+            }
+            Op::Write { file, bytes } => self.exec_sync_io(rank, file, bytes, Channel::Write),
+            Op::Read { file, bytes } => self.exec_sync_io(rank, file, bytes, Channel::Read),
+            Op::IWrite { file, bytes, tag } => {
+                self.exec_async_io(rank, file, bytes, tag, Channel::Write)
+            }
+            Op::IRead { file, bytes, tag } => {
+                self.exec_async_io(rank, file, bytes, tag, Channel::Read)
+            }
+            Op::Wait { tag } => self.exec_wait(rank, tag),
+            Op::Test { tag } => self.exec_test(rank, tag),
+            Op::PollWait { tag, interval } => self.exec_poll_wait(rank, tag, interval),
+        }
+    }
+
+    /// `MPI_Test` as a probe: reports status through the hooks but keeps the
+    /// request live (the monitoring use TMIO supports); a later `Wait` or
+    /// `PollWait` still completes it.
+    fn exec_test(&mut self, rank: usize, tag: ReqTag) -> bool {
+        let now = self.queue.now();
+        let done = matches!(
+            self.ranks[rank].requests.get(&tag),
+            Some(ReqState::Completed)
+        );
+        assert!(
+            self.ranks[rank].requests.contains_key(&tag),
+            "rank {rank}: test on unknown request {tag:?}"
+        );
+        let mut hooks = self.hooks.take().expect("hooks");
+        let o = hooks.on_test(now, rank, tag, done, &mut self.limits);
+        self.hooks = Some(hooks);
+        self.driver.on_test_result(rank, done);
+        self.ranks[rank].acct.overhead += o;
+        self.block_for(rank, o, BlockKind::Overhead)
+    }
+
+    /// The test-in-a-loop completion pattern: burns `interval` seconds of
+    /// compute per unsuccessful probe. The first probe marks the end of the
+    /// available window (the application wanted the data *now*), so the
+    /// wait-enter hook fires there; polling time is accounted as lost time.
+    fn exec_poll_wait(&mut self, rank: usize, tag: ReqTag, interval: f64) -> bool {
+        assert!(interval > 0.0, "poll interval must be positive");
+        let now = self.queue.now();
+        let state = *self
+            .ranks[rank]
+            .requests
+            .get(&tag)
+            .unwrap_or_else(|| panic!("rank {rank}: poll-wait on unknown request {tag:?}"));
+        let done = state == ReqState::Completed;
+        let first = self.ranks[rank].polling != Some(tag);
+        let mut overhead = 0.0;
+        if first {
+            self.ranks[rank].polling = Some(tag);
+            self.ranks[rank].wait_entered = now;
+            let mut hooks = self.hooks.take().expect("hooks");
+            overhead += hooks.on_wait_enter(now, rank, tag, done, &mut self.limits);
+            self.hooks = Some(hooks);
+        }
+        if done {
+            let mut hooks = self.hooks.take().expect("hooks");
+            overhead += hooks.on_wait_exit(now, rank, tag, &mut self.limits);
+            self.hooks = Some(hooks);
+            let entered = self.ranks[rank].wait_entered;
+            let lost = now - entered;
+            let channel = self.ranks[rank].req_channel[&tag];
+            match channel {
+                Channel::Write => self.ranks[rank].acct.wait_write += lost,
+                Channel::Read => self.ranks[rank].acct.wait_read += lost,
+            }
+            self.ranks[rank].polling = None;
+            self.ranks[rank].requests.remove(&tag);
+            self.ranks[rank].req_channel.remove(&tag);
+            self.ranks[rank].acct.overhead += overhead;
+            self.block_for(rank, overhead, BlockKind::Overhead)
+        } else {
+            let mut hooks = self.hooks.take().expect("hooks");
+            overhead += hooks.on_test(now, rank, tag, false, &mut self.limits);
+            self.hooks = Some(hooks);
+            self.ranks[rank].acct.overhead += overhead;
+            self.ranks[rank].pending_repeat = Some(Op::PollWait { tag, interval });
+            self.block_for(rank, interval + overhead, BlockKind::Compute)
+        }
+    }
+
+    /// Blocks `rank` for `dur` seconds (compute, memcpy, overhead).
+    /// Returns true (blocked) unless `dur` is zero.
+    fn block_for(&mut self, rank: usize, dur: f64, kind: BlockKind) -> bool {
+        if dur <= 0.0 {
+            return false;
+        }
+        self.ranks[rank].status = Status::Blocked(kind);
+        self.queue.schedule_in(dur, Event::Resume(rank));
+        true
+    }
+
+    fn enter_collective(&mut self, rank: usize, kind: CollKind) -> bool {
+        let id = self.ranks[rank].collective_seq;
+        self.ranks[rank].collective_seq += 1;
+        let n = self.cfg.n_ranks;
+        let coll = self
+            .collectives
+            .entry(id)
+            .or_insert(Collective { kind, arrived: 0 });
+        assert_eq!(
+            coll.kind, kind,
+            "collective mismatch at sequence {id}: ranks disagree on the op"
+        );
+        coll.arrived += 1;
+        let now = self.queue.now();
+        self.ranks[rank].wait_entered = now;
+        self.ranks[rank].status = Status::Blocked(BlockKind::Collective(id));
+        if coll.arrived == n {
+            let levels = (n as f64).log2().ceil().max(1.0);
+            match kind {
+                CollKind::Barrier => {
+                    let cost = self.cfg.net_latency * levels;
+                    self.queue.schedule_in(cost, Event::CollectiveRelease(id));
+                }
+                CollKind::Bcast(bytes) => {
+                    let cost = self.cfg.net_latency * levels + bytes / self.cfg.net_bandwidth;
+                    self.queue.schedule_in(cost, Event::CollectiveRelease(id));
+                }
+                CollKind::CollIo(_, bytes) => {
+                    // Two-phase I/O: exchange the data with the aggregators
+                    // over the network, then start the merged transfers.
+                    let shuffle =
+                        self.cfg.net_latency * levels + bytes * n as f64 / self.cfg.net_bandwidth;
+                    self.queue.schedule_in(shuffle, Event::CollIoStart(id));
+                }
+            }
+        }
+        true
+    }
+
+    /// Collective I/O entry: hooks see it as a blocking call on every rank.
+    fn exec_coll_io(&mut self, rank: usize, file: FileId, bytes: f64, channel: Channel) -> bool {
+        let now = self.queue.now();
+        let mut hooks = self.hooks.take().expect("hooks");
+        let o = hooks.on_sync_begin(now, rank, bytes, channel, &mut self.limits);
+        self.hooks = Some(hooks);
+        self.ranks[rank].acct.overhead += o;
+        if channel == Channel::Write {
+            self.files[file.0 as usize].1 += bytes;
+        }
+        self.ranks[rank].sync_bytes = bytes;
+        self.enter_collective(rank, CollKind::CollIo(channel, bytes))
+    }
+
+    /// The shuffle phase of a collective I/O finished: ⌈√n⌉ aggregators
+    /// issue their merged transfers.
+    fn start_coll_io(&mut self, id: u64) {
+        let coll = self.collectives.get(&id).expect("collective exists");
+        let CollKind::CollIo(channel, bytes) = coll.kind else {
+            panic!("CollIoStart on a non-I/O collective");
+        };
+        let n = self.cfg.n_ranks;
+        let aggregators = (n as f64).sqrt().ceil() as usize;
+        let total = bytes * n as f64;
+        let per_agg = total / aggregators as f64;
+        self.drain_pfs();
+        let now = self.queue.now();
+        let flows = self.pfs.submit_many(
+            now,
+            channel,
+            FlowSpec { bytes: per_agg, weight: 1.0, cap: None, meter: None },
+            aggregators,
+        );
+        for f in &flows {
+            self.coll_flows.insert(*f, id);
+        }
+        self.coll_pending.insert(id, aggregators);
+        self.resync_pfs();
+    }
+
+    fn exec_sync_io(&mut self, rank: usize, file: FileId, bytes: f64, channel: Channel) -> bool {
+        let now = self.queue.now();
+        let mut hooks = self.hooks.take().expect("hooks");
+        let o = hooks.on_sync_begin(now, rank, bytes, channel, &mut self.limits);
+        self.hooks = Some(hooks);
+        self.ranks[rank].acct.overhead += o;
+        if channel == Channel::Write {
+            self.files[file.0 as usize].1 += bytes;
+        }
+        self.ranks[rank].sync_entered = now;
+        self.ranks[rank].sync_bytes = bytes;
+        let task = self.new_task(rank, None, bytes, channel);
+        self.ranks[rank].status = Status::Blocked(BlockKind::SyncIo(task));
+        if channel == Channel::Write && self.cfg.burst_buffer.is_some() {
+            self.start_bb_write(task, rank, bytes);
+        } else {
+            self.start_subrequest(task);
+        }
+        self.resync_pfs();
+        true
+    }
+
+    /// Burst-buffer write path: the call completes at absorption time; the
+    /// bytes drain to the PFS as a background flow capped at the drain rate
+    /// (and the rank's limit, when the limiter is active).
+    fn start_bb_write(&mut self, task: TaskId, rank: usize, bytes: f64) {
+        let now = self.queue.now();
+        let done = self.bbs[rank].absorb(now.as_secs(), bytes);
+        // Mark the task as fully transferred from the application's view.
+        self.tasks.get_mut(&task).expect("task exists").bytes_left = 0.0;
+        self.queue
+            .schedule(SimTime::from_secs(done).max(now), Event::BbDone(task));
+        let drain_rate = self.cfg.burst_buffer.expect("configured").drain_rate;
+        let cap = match self.limits.effective(rank) {
+            Some(l) => drain_rate.min(l),
+            None => drain_rate,
+        };
+        self.drain_pfs();
+        let flow = self.pfs.submit(
+            now,
+            Channel::Write,
+            FlowSpec { bytes, weight: 1.0, cap: Some(cap), meter: None },
+        );
+        self.background_flows.insert(flow);
+    }
+
+    fn exec_async_io(
+        &mut self,
+        rank: usize,
+        file: FileId,
+        bytes: f64,
+        tag: ReqTag,
+        channel: Channel,
+    ) -> bool {
+        let now = self.queue.now();
+        assert!(
+            !self.ranks[rank].requests.contains_key(&tag),
+            "rank {rank}: request tag {tag:?} already outstanding"
+        );
+        let mut hooks = self.hooks.take().expect("hooks");
+        let o = hooks.on_async_submit(now, rank, tag, bytes, channel, &mut self.limits);
+        self.hooks = Some(hooks);
+        self.ranks[rank].acct.overhead += o;
+        if channel == Channel::Write {
+            self.files[file.0 as usize].1 += bytes;
+        }
+        self.ranks[rank].requests.insert(tag, ReqState::InFlight);
+        self.ranks[rank].req_channel.insert(tag, channel);
+        let task = self.new_task(rank, Some(tag), bytes, channel);
+        if channel == Channel::Write && self.cfg.burst_buffer.is_some() {
+            self.start_bb_write(task, rank, bytes);
+        } else {
+            self.start_subrequest(task);
+        }
+        self.resync_pfs();
+        // The rank continues immediately; inject tool overhead if any.
+        self.block_for(rank, o, BlockKind::Overhead)
+    }
+
+    fn exec_wait(&mut self, rank: usize, tag: ReqTag) -> bool {
+        let now = self.queue.now();
+        let state = *self
+            .ranks[rank]
+            .requests
+            .get(&tag)
+            .unwrap_or_else(|| panic!("rank {rank}: wait on unknown request {tag:?}"));
+        let already_done = state == ReqState::Completed;
+        let mut hooks = self.hooks.take().expect("hooks");
+        let mut o = hooks.on_wait_enter(now, rank, tag, already_done, &mut self.limits);
+        if already_done {
+            o += hooks.on_wait_exit(now, rank, tag, &mut self.limits);
+            self.hooks = Some(hooks);
+            self.ranks[rank].requests.remove(&tag);
+            self.ranks[rank].req_channel.remove(&tag);
+            self.ranks[rank].acct.overhead += o;
+            self.block_for(rank, o, BlockKind::Overhead)
+        } else {
+            self.hooks = Some(hooks);
+            self.ranks[rank].acct.overhead += o;
+            self.ranks[rank].wait_entered = now;
+            self.ranks[rank].status = Status::Blocked(BlockKind::Wait(tag));
+            true
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // I/O thread (ADIO layer)
+
+    fn new_task(&mut self, rank: usize, tag: Option<ReqTag>, bytes: f64, channel: Channel) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        let now = self.queue.now();
+        self.tasks.insert(
+            id,
+            IoTask {
+                rank,
+                tag,
+                channel,
+                bytes_left: bytes,
+                deficit: 0.0,
+                subreq_bytes: 0.0,
+                subreq_started: now,
+            },
+        );
+        id
+    }
+
+    /// Issues the next sub-request of `task` onto the PFS — or completes the
+    /// request if all bytes are transferred (reached via [`Event::IoTaskNext`]
+    /// after a trailing pacing sleep).
+    fn start_subrequest(&mut self, id: TaskId) {
+        {
+            let task = self.tasks.get(&id).expect("task exists");
+            if task.bytes_left <= 1e-6 {
+                let ct = self.queue.now();
+                let task = self.tasks.remove(&id).expect("task exists");
+                self.finish_task(ct, id, task);
+                return;
+            }
+        }
+        self.drain_pfs();
+        let now = self.queue.now();
+        let task = self.tasks.get_mut(&id).expect("task exists");
+        let size = task.bytes_left.min(self.cfg.subreq_bytes).max(0.0);
+        task.subreq_bytes = size;
+        task.subreq_started = now;
+        let channel = task.channel;
+        let flow = self.pfs.submit(now, channel, FlowSpec::simple(size));
+        self.flow_task.insert(flow, id);
+    }
+
+    /// A sub-request's PFS transfer finished: apply pacing, chain or finish.
+    /// The pacing sleep applies after *every* sub-request, including the
+    /// last — the I/O thread completes the generalized request only after
+    /// finishing its schedule, so the achieved throughput converges to the
+    /// limit (Sec. V).
+    fn on_flow_complete(&mut self, ct: SimTime, flow: FlowId) {
+        if self.background_flows.remove(&flow) {
+            return; // a burst-buffer drain finished; nobody waits on it
+        }
+        if let Some(id) = self.coll_flows.remove(&flow) {
+            let left = self.coll_pending.get_mut(&id).expect("pending count");
+            *left -= 1;
+            if *left == 0 {
+                self.coll_pending.remove(&id);
+                let at = ct.max(self.queue.now());
+                self.queue.schedule(at, Event::CollectiveRelease(id));
+            }
+            return;
+        }
+        let _ = ct;
+        let id = self.flow_task.remove(&flow).expect("flow belongs to a task");
+        let (rank, finished, subreq_bytes, subreq_started) = {
+            let task = self.tasks.get_mut(&id).expect("task exists");
+            task.bytes_left -= task.subreq_bytes;
+            (
+                task.rank,
+                task.bytes_left <= 1e-6,
+                task.subreq_bytes,
+                task.subreq_started,
+            )
+        };
+        // I/O↔compute interference ([33]): the busier the channel was, the
+        // more this transfer perturbed the rank's compute threads.
+        if self.cfg.interference_alpha > 0.0 {
+            let channel = {
+                let task = self.tasks.get(&id).expect("task exists");
+                task.channel
+            };
+            let capacity = match channel {
+                Channel::Write => self.cfg.pfs.write_capacity,
+                Channel::Read => self.cfg.pfs.read_capacity,
+            };
+            let concurrency =
+                (self.pfs.active_flows(channel) + 1) as f64 / self.cfg.n_ranks as f64;
+            self.ranks[rank].pending_toll += self.cfg.interference_alpha
+                * concurrency.min(1.0)
+                * (subreq_bytes / capacity.max(1.0));
+        }
+        // Pacing: compare achieved vs required sub-request time (Sec. V).
+        let is_sync = self.tasks.get(&id).expect("task exists").tag.is_none();
+        let limit = if is_sync && !self.cfg.limit_sync_ops {
+            None
+        } else {
+            self.limits.effective(rank)
+        };
+        let mut delay = 0.0;
+        if let Some(limit) = limit {
+            let task = self.tasks.get_mut(&id).expect("task exists");
+            let actual = ct - subreq_started;
+            let required = subreq_bytes / limit;
+            if actual < required {
+                // Case A: sleep the remainder, shortened by banked deficit.
+                let mut sleep = required - actual;
+                let use_deficit = sleep.min(task.deficit);
+                sleep -= use_deficit;
+                task.deficit -= use_deficit;
+                delay = sleep;
+            } else {
+                // Case B: too slow; bank the overshoot.
+                task.deficit += actual - required;
+            }
+        }
+        if delay > 0.0 {
+            let resume_at = ct.max(self.queue.now()).after(delay);
+            self.queue.schedule(resume_at, Event::IoTaskNext(id));
+        } else if finished {
+            let task = self.tasks.remove(&id).expect("task exists");
+            self.finish_task(ct, id, task);
+        } else {
+            self.start_subrequest(id);
+        }
+    }
+
+    /// All bytes of a request are on the PFS: complete the generalized
+    /// request and release any blocked rank.
+    fn finish_task(&mut self, ct: SimTime, id: TaskId, task: IoTask) {
+        let now = self.queue.now();
+        let rank = task.rank;
+        let status = self.ranks[rank].status;
+        let release_at = ct.max(now);
+        match task.tag {
+            Some(tag) => {
+                // Async request: mark complete, notify tool.
+                *self.ranks[rank]
+                    .requests
+                    .get_mut(&tag)
+                    .expect("request registered") = ReqState::Completed;
+                let mut hooks = self.hooks.take().expect("hooks");
+                hooks.on_request_complete(ct, rank, tag);
+                self.hooks = Some(hooks);
+                if status == Status::Blocked(BlockKind::Wait(tag)) {
+                    // The rank was stuck in MPI_Wait: async-lost time.
+                    let entered = self.ranks[rank].wait_entered;
+                    let lost = release_at - entered;
+                    match task.channel {
+                        Channel::Write => self.ranks[rank].acct.wait_write += lost,
+                        Channel::Read => self.ranks[rank].acct.wait_read += lost,
+                    }
+                    let mut hooks = self.hooks.take().expect("hooks");
+                    let o = hooks.on_wait_exit(release_at, rank, tag, &mut self.limits);
+                    self.hooks = Some(hooks);
+                    self.ranks[rank].acct.overhead += o;
+                    self.ranks[rank].requests.remove(&tag);
+                    self.ranks[rank].req_channel.remove(&tag);
+                    // Resume via the queue so completions drain first.
+                    self.ranks[rank].status = Status::Blocked(BlockKind::Overhead);
+                    self.queue
+                        .schedule(release_at.after(o), Event::Resume(rank));
+                }
+            }
+            None => {
+                // Synchronous op: account and release the rank.
+                debug_assert_eq!(status, Status::Blocked(BlockKind::SyncIo(id)));
+                let entered = self.ranks[rank].sync_entered;
+                let bytes = self.ranks[rank].sync_bytes;
+                let dur = release_at - entered;
+                match task.channel {
+                    Channel::Write => self.ranks[rank].acct.sync_write += dur,
+                    Channel::Read => self.ranks[rank].acct.sync_read += dur,
+                }
+                let mut hooks = self.hooks.take().expect("hooks");
+                let o =
+                    hooks.on_sync_end(release_at, rank, bytes, task.channel, &mut self.limits);
+                self.hooks = Some(hooks);
+                self.ranks[rank].acct.overhead += o;
+                self.ranks[rank].status = Status::Blocked(BlockKind::Overhead);
+                self.queue
+                    .schedule(release_at.after(o), Event::Resume(rank));
+            }
+        }
+    }
+}

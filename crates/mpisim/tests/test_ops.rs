@@ -1,0 +1,114 @@
+//! Tests for `MPI_Test` and the poll-wait completion pattern.
+
+use mpisim::{threaded::Threaded, FileId, NoHooks, Op, Program, ReqTag, World, WorldConfig};
+use pfsim::PfsConfig;
+
+const MB: f64 = 1e6;
+
+fn cfg(n: usize, cap: f64) -> WorldConfig {
+    let mut c = WorldConfig::new(n);
+    c.pfs = PfsConfig { write_capacity: cap, read_capacity: cap };
+    c
+}
+
+#[test]
+fn test_probe_keeps_request_live() {
+    // Test before and after completion; the request still needs its wait.
+    let ops = vec![
+        Op::IWrite { file: FileId(0), bytes: 10.0 * MB, tag: ReqTag(0) },
+        Op::Test { tag: ReqTag(0) }, // immediately after submit: not done
+        Op::Compute { seconds: 1.0 },
+        Op::Test { tag: ReqTag(0) }, // long after: done
+        Op::Wait { tag: ReqTag(0) },
+    ];
+    let p = Program::from_ops(ops);
+    assert!(p.validate().is_ok());
+    let mut w = World::new(cfg(1, 100.0 * MB), vec![p], NoHooks);
+    w.create_file("f");
+    let s = w.run();
+    assert!((s.makespan() - 1.0).abs() < 1e-6, "makespan {}", s.makespan());
+}
+
+#[test]
+fn poll_wait_completes_and_accounts_lost_time() {
+    // 200 MB at 100 MB/s = 2 s of I/O; only 0.5 s hidden -> ~1.5 s polled.
+    let ops = vec![
+        Op::IWrite { file: FileId(0), bytes: 200.0 * MB, tag: ReqTag(0) },
+        Op::Compute { seconds: 0.5 },
+        Op::PollWait { tag: ReqTag(0), interval: 0.01 },
+    ];
+    let mut w = World::new(cfg(1, 100.0 * MB), vec![Program::from_ops(ops)], NoHooks);
+    w.create_file("f");
+    let s = w.run();
+    // Completion lands on a poll boundary: within one interval of 2.0 s.
+    assert!(
+        s.makespan() >= 2.0 && s.makespan() < 2.02,
+        "makespan {}",
+        s.makespan()
+    );
+    let lost = s.accounting[0].wait_write;
+    assert!((lost - 1.5).abs() < 0.03, "lost {lost}");
+}
+
+#[test]
+fn poll_wait_returns_immediately_when_done() {
+    let ops = vec![
+        Op::IWrite { file: FileId(0), bytes: 1.0 * MB, tag: ReqTag(0) },
+        Op::Compute { seconds: 1.0 },
+        Op::PollWait { tag: ReqTag(0), interval: 0.05 },
+    ];
+    let mut w = World::new(cfg(1, 100.0 * MB), vec![Program::from_ops(ops)], NoHooks);
+    w.create_file("f");
+    let s = w.run();
+    assert!((s.makespan() - 1.0).abs() < 1e-6);
+    assert!(s.accounting[0].wait_write < 1e-9);
+}
+
+#[test]
+fn threaded_test_reports_status() {
+    let mut tw = Threaded::new(cfg(1, 100.0 * MB), NoHooks);
+    let f = tw.create_file("f");
+    let (summary, _) = tw.run(move |ctx| {
+        let req = ctx.iwrite(f, 50.0 * MB); // 0.5 s of I/O
+        assert!(!ctx.test(&req), "cannot be done at submit time");
+        ctx.compute(1.0);
+        assert!(ctx.test(&req), "must be done after 1 s");
+        ctx.wait(req);
+    });
+    assert!((summary.makespan() - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn threaded_poll_wait() {
+    let mut tw = Threaded::new(cfg(1, 100.0 * MB), NoHooks);
+    let f = tw.create_file("f");
+    let (summary, _) = tw.run(move |ctx| {
+        let req = ctx.iwrite(f, 100.0 * MB); // 1 s of I/O
+        ctx.compute(0.2);
+        ctx.poll_wait(req, 0.01);
+    });
+    assert!(summary.makespan() >= 1.0 && summary.makespan() < 1.02);
+}
+
+#[test]
+#[should_panic(expected = "unknown request")]
+fn test_on_unknown_request_panics() {
+    let ops = vec![
+        Op::IWrite { file: FileId(0), bytes: 1.0, tag: ReqTag(0) },
+        Op::Wait { tag: ReqTag(0) },
+        Op::Test { tag: ReqTag(0) }, // already freed
+    ];
+    // Program::validate would reject this; bypass it via a custom driver.
+    struct Raw(Vec<Op>, usize);
+    impl mpisim::RankDriver for Raw {
+        fn next_op(&mut self, _rank: usize, _now: simcore::SimTime) -> Option<Op> {
+            let op = self.0.get(self.1).copied();
+            self.1 += 1;
+            op
+        }
+    }
+    let mut w: World<NoHooks> =
+        World::with_driver(cfg(1, 1e9), Box::new(Raw(ops, 0)), NoHooks);
+    w.create_file("f");
+    w.run();
+}

@@ -1,0 +1,28 @@
+//! # simcore — discrete-event simulation core
+//!
+//! The foundation every other crate in this workspace builds on:
+//!
+//! * [`SimTime`] — NaN-free virtual time in seconds,
+//! * [`EventQueue`] — deterministic time-ordered event queue with FIFO
+//!   tie-breaking and O(1) cancellation,
+//! * [`stream_rng`] / [`Noise`] — reproducible per-stream randomness,
+//! * [`StepSeries`] — step-function time series for bandwidth plots,
+//! * [`stats`] — small numeric helpers for reports.
+//!
+//! The engine is intentionally minimal: world state lives in the crates that
+//! own it (`pfsim`, `mpisim`, `clustersim`); `simcore` only guarantees that
+//! events fire in a total, reproducible order.
+
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod series;
+/// Numeric helpers (mean, percentiles, percentage splits).
+pub mod stats;
+mod time;
+
+pub use queue::{EventKey, EventQueue};
+pub use rng::{rank_phase_stream, stream_rng, Noise};
+pub use series::StepSeries;
+pub use time::SimTime;

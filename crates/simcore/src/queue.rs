@@ -1,0 +1,253 @@
+//! Event queue for discrete-event engines.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with FIFO tie-breaking:
+//! events scheduled for the same instant pop in the order they were pushed,
+//! which keeps simulations deterministic regardless of heap internals.
+//!
+//! Cancellation is supported through [`EventKey`] tokens: `cancel` is O(1)
+//! (lazy deletion; cancelled entries are skipped on pop).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Token identifying a scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventKey(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest seq)
+        // is popped first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Scheduled, not yet popped, not cancelled.
+    live: std::collections::HashSet<u64>,
+    /// Cancelled but still physically in the heap (lazy deletion).
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// Panics if `time` is in the past (before the last popped event): a DES
+    /// must never travel backwards.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventKey {
+        assert!(
+            time >= self.now,
+            "cannot schedule event in the past: {:?} < {:?}",
+            time,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry {
+            time,
+            seq,
+            payload,
+        });
+        EventKey(seq)
+    }
+
+    /// Schedules `payload` after `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventKey {
+        let t = self.now.after(delay);
+        self.schedule(t, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. not yet popped or cancelled); cancelling an
+    /// already-delivered or already-cancelled event is a no-op returning
+    /// `false`.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if !self.live.remove(&key.0) {
+            return false;
+        }
+        self.cancelled.insert(key.0);
+        true
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now);
+            self.live.remove(&entry.seq);
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2.5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(2.5));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(t(1.0), "dead");
+        q.schedule(t(2.0), "alive");
+        assert!(q.cancel(k));
+        assert!(!q.cancel(k), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "alive");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(t(1.0), 1);
+        q.schedule(t(2.0), 2);
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), "first");
+        q.pop();
+        q.schedule_in(0.5, "second");
+        let (time, _) = q.pop().unwrap();
+        assert!((time.as_secs() - 1.5).abs() < 1e-12);
+    }
+
+    /// Regression (found by proptest): cancelling an event that was already
+    /// popped must be a no-op — it used to corrupt `len()` via a stale
+    /// lazy-deletion entry.
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(t(1.0), "x");
+        q.schedule(t(2.0), "y");
+        assert_eq!(q.pop().unwrap().1, "x");
+        assert!(!q.cancel(k), "event already delivered");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "y");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2.0), ());
+        q.pop();
+        q.schedule(t(1.0), ());
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic element of the simulation (compute-phase jitter, PFS
+//! capacity noise, workload variability) draws from a stream derived from a
+//! master seed plus a stable stream identifier, so any figure can be
+//! regenerated bit-identically while streams stay statistically independent.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Mixes a master seed with a stream identifier into an independent RNG.
+///
+/// Uses SplitMix64 finalization over the pair, which is the standard way to
+/// derive well-distributed per-stream seeds from sequential ids.
+pub fn stream_rng(master_seed: u64, stream: u64) -> SmallRng {
+    let mut z = master_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+/// Derives a stream id from rank and phase indices (stable pairing).
+pub fn rank_phase_stream(rank: usize, phase: usize) -> u64 {
+    (rank as u64) << 32 | (phase as u64 & 0xFFFF_FFFF)
+}
+
+/// Multiplicative noise models applied to nominal durations or capacities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Noise {
+    /// No noise: the nominal value is used unchanged.
+    None,
+    /// Uniform relative jitter: value × U(1−a, 1+a).
+    UniformRel(f64),
+    /// Log-normal-ish multiplicative jitter with the given sigma; the factor
+    /// is exp(N(0, sigma²)) approximated from 12 uniforms (Irwin–Hall), which
+    /// avoids needing a distributions crate and is plenty for jitter.
+    LogNormal(f64),
+    /// Occasional deep dips: with probability `prob` the factor is `factor`
+    /// (≪ 1), otherwise 1. Models production-cluster I/O interference —
+    /// another job's burst stealing most of the PFS (the paper's Fig. 14
+    /// variability; cross-application interference can reach 200×).
+    Spike {
+        /// Probability of a dip per draw.
+        prob: f64,
+        /// Capacity factor during a dip.
+        factor: f64,
+    },
+    /// Uniform relative jitter quantized to `levels` discrete factors. Used
+    /// at large rank counts so synchronized ranks collapse into a bounded
+    /// number of PFS flow groups (see DESIGN.md §4).
+    QuantizedRel {
+        /// Half-width of the relative jitter band.
+        amplitude: f64,
+        /// Number of discrete factor levels across the band.
+        levels: u32,
+    },
+}
+
+impl Noise {
+    /// Applies the noise model to `nominal`, drawing from `rng`.
+    /// The result is clamped to be non-negative.
+    pub fn apply(self, nominal: f64, rng: &mut SmallRng) -> f64 {
+        let factor = self.factor(rng);
+        (nominal * factor).max(0.0)
+    }
+
+    /// Draws just the multiplicative factor.
+    pub fn factor(self, rng: &mut SmallRng) -> f64 {
+        match self {
+            Noise::None => 1.0,
+            Noise::UniformRel(a) => {
+                debug_assert!((0.0..1.0).contains(&a));
+                1.0 + rng.gen_range(-a..=a)
+            }
+            Noise::LogNormal(sigma) => {
+                // Irwin–Hall approximation of a standard normal.
+                let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+                let z = sum - 6.0;
+                (sigma * z).exp()
+            }
+            Noise::Spike { prob, factor } => {
+                debug_assert!((0.0..=1.0).contains(&prob));
+                if rng.gen::<f64>() < prob {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+            Noise::QuantizedRel { amplitude, levels } => {
+                debug_assert!(levels >= 1);
+                let level = rng.gen_range(0..levels);
+                if levels == 1 {
+                    1.0
+                } else {
+                    let frac = level as f64 / (levels - 1) as f64; // 0..=1
+                    1.0 - amplitude + 2.0 * amplitude * frac
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = stream_rng(42, 7);
+        let mut b = stream_rng(42, 7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn streams_differ_by_id() {
+        let mut a = stream_rng(42, 7);
+        let mut b = stream_rng(42, 8);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn streams_differ_by_seed() {
+        let mut a = stream_rng(1, 7);
+        let mut b = stream_rng(2, 7);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn rank_phase_stream_is_injective_for_small_values() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for rank in 0..64 {
+            for phase in 0..64 {
+                assert!(seen.insert(rank_phase_stream(rank, phase)));
+            }
+        }
+    }
+
+    #[test]
+    fn none_noise_is_identity() {
+        let mut rng = stream_rng(0, 0);
+        assert_eq!(Noise::None.apply(3.5, &mut rng), 3.5);
+    }
+
+    #[test]
+    fn uniform_noise_bounded() {
+        let mut rng = stream_rng(0, 1);
+        for _ in 0..1000 {
+            let v = Noise::UniformRel(0.1).apply(10.0, &mut rng);
+            assert!((9.0..=11.0).contains(&v), "out of band: {v}");
+        }
+    }
+
+    #[test]
+    fn lognormal_positive_and_centered() {
+        let mut rng = stream_rng(0, 2);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| Noise::LogNormal(0.05).factor(&mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean > 0.98 && mean < 1.02, "mean factor {mean}");
+    }
+
+    #[test]
+    fn quantized_levels_are_discrete() {
+        use std::collections::BTreeSet;
+        let mut rng = stream_rng(0, 3);
+        let noise = Noise::QuantizedRel {
+            amplitude: 0.2,
+            levels: 5,
+        };
+        let mut seen = BTreeSet::new();
+        for _ in 0..1000 {
+            let f = noise.factor(&mut rng);
+            seen.insert((f * 1e9).round() as i64);
+        }
+        assert!(seen.len() <= 5, "expected at most 5 levels, got {}", seen.len());
+        assert!(seen.len() >= 4, "expected the levels to be exercised");
+    }
+
+    #[test]
+    fn spike_dips_at_expected_rate() {
+        let mut rng = stream_rng(0, 5);
+        let noise = Noise::Spike { prob: 0.25, factor: 0.05 };
+        let n = 10_000;
+        let dips = (0..n)
+            .filter(|_| noise.factor(&mut rng) < 0.5)
+            .count();
+        let rate = dips as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "dip rate {rate}");
+    }
+
+    #[test]
+    fn quantized_single_level_is_identity() {
+        let mut rng = stream_rng(0, 4);
+        let noise = Noise::QuantizedRel {
+            amplitude: 0.2,
+            levels: 1,
+        };
+        assert_eq!(noise.factor(&mut rng), 1.0);
+    }
+}

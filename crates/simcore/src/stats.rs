@@ -1,0 +1,94 @@
+//! Small statistics helpers used by reports and the figure harness.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolated percentile, `q ∈ [0, 1]`. Panics on empty input.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN-free"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Maximum; 0 for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// Sum.
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+/// Normalizes parts to percentages of their total; all zeros if total is 0.
+pub fn percentages(parts: &[f64]) -> Vec<f64> {
+    let total: f64 = parts.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; parts.len()];
+    }
+    parts.iter().map(|p| 100.0 * p / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_basic() {
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let s = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 1.0), 40.0);
+        assert_eq!(percentile(&xs, 0.5), 25.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        assert_eq!(percentile(&xs, 0.5), 25.0);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let p = percentages(&[1.0, 3.0]);
+        assert_eq!(p, vec![25.0, 75.0]);
+        assert_eq!(percentages(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+}

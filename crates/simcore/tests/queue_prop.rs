@@ -1,0 +1,88 @@
+//! Property tests of the event queue: total order, FIFO ties, cancellation.
+
+use proptest::prelude::*;
+use simcore::{EventQueue, SimTime};
+
+proptest! {
+    /// Pops are globally ordered by (time, insertion sequence).
+    #[test]
+    fn pops_sorted_with_fifo_ties(times in prop::collection::vec(0u32..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t as f64), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            popped.push((t, id));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO on ties");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u32..50, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_secs(t as f64), i))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, k) in keys.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*k));
+                cancelled.insert(i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, id)) = q.pop() {
+            prop_assert!(!cancelled.contains(&id), "cancelled event {id} popped");
+            seen.insert(id);
+        }
+        prop_assert_eq!(seen.len(), times.len() - cancelled.len());
+    }
+
+    /// Interleaved schedule/pop keeps the clock monotone and never loses a
+    /// live event.
+    #[test]
+    fn interleaved_ops_keep_invariants(script in prop::collection::vec((0u8..3, 0u32..20), 1..200)) {
+        let mut q = EventQueue::new();
+        let mut scheduled = 0usize;
+        let mut popped = 0usize;
+        let mut cancelled = 0usize;
+        let mut last_key = None;
+        let mut last_now = SimTime::ZERO;
+        for (op, dt) in script {
+            match op {
+                0 => {
+                    last_key = Some(q.schedule_in(dt as f64, ()));
+                    scheduled += 1;
+                }
+                1 => {
+                    if let Some((t, ())) = q.pop() {
+                        prop_assert!(t >= last_now, "clock monotone");
+                        last_now = t;
+                        popped += 1;
+                    }
+                }
+                _ => {
+                    if let Some(k) = last_key.take() {
+                        if q.cancel(k) {
+                            cancelled += 1;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), scheduled - popped - cancelled);
+    }
+}

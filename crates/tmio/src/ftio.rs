@@ -1,0 +1,261 @@
+//! FTIO-style frequency analysis of I/O behaviour.
+//!
+//! The paper's companion tool (Tarraf et al., "Capturing periodic I/O using
+//! frequency techniques", IPDPS'24) detects the period of an application's
+//! I/O phases from its bandwidth signal with a DFT. TMIO "has been recently
+//! used together with FTIO to predict online or detect offline the I/O
+//! phases of an application" (Sec. VII) — this module provides that
+//! capability over the recorded [`StepSeries`]: resample, remove the DC
+//! component, run a radix-2 FFT, and report the dominant period with a
+//! confidence score.
+
+use simcore::{SimTime, StepSeries};
+
+/// Result of period detection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeriodEstimate {
+    /// Dominant period, seconds.
+    pub period: f64,
+    /// Dominant frequency, Hz.
+    pub frequency: f64,
+    /// Fraction of (DC-free) spectral energy in the dominant frequency and
+    /// its harmonics (±1 bin of leakage each) — ≈1 for a periodic burst
+    /// train, ~0 for white noise.
+    pub confidence: f64,
+    /// Magnitude of the dominant component (bytes/s).
+    pub amplitude: f64,
+}
+
+/// In-place radix-2 decimation-in-time FFT over interleaved complex values.
+/// `re`/`im` lengths must be equal powers of two.
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len());
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Detects the dominant period of `series` over `[from, to]`, sampling at
+/// `n_samples` points (rounded up to a power of two, min 64).
+///
+/// Returns `None` for an empty window or a signal with no spectral content
+/// beyond DC.
+pub fn detect_period(
+    series: &StepSeries,
+    from: f64,
+    to: f64,
+    n_samples: usize,
+) -> Option<PeriodEstimate> {
+    if to <= from {
+        return None;
+    }
+    let n = n_samples.max(64).next_power_of_two();
+    let horizon = to - from;
+    // Bin the *transferred bytes* (integral over each bin), not point
+    // samples: I/O bursts are far shorter than a bin and point sampling
+    // would miss them entirely — FTIO works on binned byte counts too.
+    let bin = horizon / n as f64;
+    let samples: Vec<f64> = (0..n)
+        .map(|k| {
+            let a = from + k as f64 * bin;
+            series.integral(SimTime::from_secs(a), SimTime::from_secs(a + bin)) / bin
+        })
+        .collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let mut re: Vec<f64> = samples.iter().map(|v| v - mean).collect();
+    let mut im = vec![0.0; n];
+    if re.iter().all(|v| v.abs() < 1e-12) {
+        return None;
+    }
+    fft(&mut re, &mut im);
+    // Power spectrum over positive frequencies (skip DC).
+    let half = n / 2;
+    let power: Vec<f64> = (0..half)
+        .map(|k| re[k] * re[k] + im[k] * im[k])
+        .collect();
+    let (k_star, p_star) = power
+        .iter()
+        .enumerate()
+        .skip(1)
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN-free"))?;
+    let total: f64 = power.iter().skip(1).sum();
+    if total <= 0.0 || *p_star <= 0.0 {
+        return None;
+    }
+    // Confidence counts the fundamental and its harmonics (±1 bin of
+    // leakage each): a periodic burst train concentrates its energy there
+    // even though single-bin energy is low for impulse-like signals.
+    let mut dominant = 0.0;
+    let mut h = k_star;
+    while h < half {
+        dominant += power[h];
+        if h > 1 {
+            dominant += power[h - 1];
+        }
+        if h + 1 < half {
+            dominant += power[h + 1];
+        }
+        h += k_star;
+    }
+    let frequency = k_star as f64 / horizon;
+    Some(PeriodEstimate {
+        period: 1.0 / frequency,
+        frequency,
+        confidence: (dominant / total).min(1.0),
+        amplitude: 2.0 * p_star.sqrt() / n as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_wave(period: f64, duty: f64, level: f64, horizon: f64) -> StepSeries {
+        let mut s = StepSeries::new();
+        let mut t = 0.0;
+        while t < horizon {
+            s.push(SimTime::from_secs(t), level);
+            s.push(SimTime::from_secs(t + period * duty), 0.0);
+            t += period;
+        }
+        s
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        re[0] = 1.0;
+        fft(&mut re, &mut im);
+        for k in 0..8 {
+            assert!((re[k] - 1.0).abs() < 1e-12);
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_cosine_peaks_at_its_bin() {
+        let n = 64;
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 5.0 * i as f64 / n as f64).cos())
+            .collect();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        let mags: Vec<f64> = (0..n / 2).map(|k| (re[k].powi(2) + im[k].powi(2)).sqrt()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 5);
+        assert!((mags[5] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_parseval_energy_conserved() {
+        let n = 128;
+        let sig: Vec<f64> = (0..n).map(|i| ((i * 7919) % 13) as f64 - 6.0).collect();
+        let mut re = sig.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        let time_energy: f64 = sig.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            (0..n).map(|k| re[k] * re[k] + im[k] * im[k]).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn detects_square_wave_period() {
+        let s = square_wave(5.0, 0.1, 1e9, 100.0);
+        let est = detect_period(&s, 0.0, 100.0, 1024).expect("periodic");
+        assert!(
+            (est.period - 5.0).abs() < 0.3,
+            "period {} should be ≈5 s",
+            est.period
+        );
+        assert!(est.confidence > 0.2, "confidence {}", est.confidence);
+    }
+
+    #[test]
+    fn detects_longer_period() {
+        let s = square_wave(20.0, 0.25, 5e8, 400.0);
+        let est = detect_period(&s, 0.0, 400.0, 2048).expect("periodic");
+        assert!((est.period - 20.0).abs() < 1.5, "period {}", est.period);
+    }
+
+    #[test]
+    fn constant_signal_has_no_period() {
+        let mut s = StepSeries::new();
+        s.push(SimTime::from_secs(0.0), 7.0);
+        assert!(detect_period(&s, 0.0, 100.0, 256).is_none());
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        let s = StepSeries::new();
+        assert!(detect_period(&s, 5.0, 5.0, 256).is_none());
+        assert!(detect_period(&s, 0.0, 10.0, 256).is_none());
+    }
+
+    #[test]
+    fn pure_tone_beats_noisy_tone_in_confidence() {
+        let clean = square_wave(10.0, 0.5, 1.0, 200.0);
+        let mut noisy = StepSeries::new();
+        // Same wave with pseudo-random spikes between bursts.
+        let mut t = 0.0;
+        let mut h = 0x9E3779B97F4A7C15u64;
+        while t < 200.0 {
+            h = h.wrapping_mul(0x2545F4914F6CDD1D).rotate_left(17);
+            let jitter = (h % 100) as f64 / 100.0;
+            noisy.push(SimTime::from_secs(t), 1.0 + jitter);
+            noisy.push(SimTime::from_secs(t + 5.0), jitter * 0.5);
+            t += 10.0;
+        }
+        let c_clean = detect_period(&clean, 0.0, 200.0, 1024).unwrap().confidence;
+        let c_noisy = detect_period(&noisy, 0.0, 200.0, 1024).unwrap().confidence;
+        assert!(c_clean > c_noisy, "{c_clean} vs {c_noisy}");
+    }
+}

@@ -1,0 +1,60 @@
+//! # tmio — Tracing MPI-IO (the paper's core contribution)
+//!
+//! Rust reproduction of the TMIO library from *"I/O Behind the Scenes:
+//! Bandwidth Requirements of HPC Applications with Asynchronous I/O"*
+//! (IEEE CLUSTER 2024):
+//!
+//! * intercepts asynchronous MPI-IO through the PMPI-analogue
+//!   [`mpisim::IoHooks`] boundary ([`Tracer`]),
+//! * computes each rank's **required bandwidth** `B_{i,j}` (Eq. 1) and
+//!   **throughput** `T_{i,j}` (Eq. 2),
+//! * applies the **direct / up-only / adaptive** limiting strategies
+//!   (Sec. IV-B) plus the future-work MFU table ([`Strategy`]),
+//! * aggregates rank metrics to application level with the region sweep of
+//!   Eq. 3 ([`regions`]),
+//! * reports the run: time decomposition, overheads, JSON traces
+//!   ([`Report`]),
+//! * detects periodic I/O behaviour with FTIO-style frequency analysis
+//!   ([`ftio`], the companion-tool capability mentioned in Sec. VII),
+//! * aggregates regions **online** for schedulers consuming the metric live
+//!   ([`online::OnlineAggregator`]),
+//! * optionally records the raw event stream ([`trace::TraceLog`], the
+//!   machine-readable Fig. 3).
+//!
+//! ```
+//! use tmio::{Strategy, Tracer, TracerConfig};
+//! use mpisim::{threaded::Threaded, WorldConfig};
+//!
+//! let n = 4;
+//! let cfg = WorldConfig::new(n).with_limiter(true);
+//! let tracer = Tracer::new(n, TracerConfig::with_strategy(
+//!     Strategy::Direct { tol: 1.1 }));
+//! let mut tw = Threaded::new(cfg, tracer);
+//! let f = tw.create_file("ckpt");
+//! let (_summary, tracer) = tw.run(move |ctx| {
+//!     for _ in 0..5 {
+//!         let r = ctx.iwrite(f, 8e6);
+//!         ctx.compute(0.01);
+//!         ctx.wait(r);
+//!     }
+//! });
+//! let report = tracer.into_report();
+//! assert!(report.required_bandwidth() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ftio;
+pub mod online;
+pub mod regions;
+mod report;
+pub mod trace;
+mod strategy;
+mod tracer;
+
+pub use report::{Decomposition, Report};
+pub use strategy::{Strategy, StrategyState, LIMIT_FLOOR};
+pub use tracer::{
+    Aggregation, AsyncSpan, ChannelKind, PhaseRecord, PostOverheadModel, SyncInterval, TeMode,
+    ThroughputWindow, Tracer, TracerConfig,
+};

@@ -1,0 +1,228 @@
+//! Online application-level aggregation (paper Sec. IV-C: the region
+//! computation "is done offline in the plotting script … or optionally
+//! online if the appropriate flags are provided to TMIO").
+//!
+//! [`OnlineAggregator`] maintains the Eq. 3 region sum incrementally as
+//! phases stream in: inserting an interval `[ts, te) → +B` updates a sorted
+//! breakpoint map in O(log n + k) for k breakpoints spanned, and the current
+//! application-level maximum is available at any time without a full
+//! re-sweep. This is what an I/O scheduler consuming TMIO's metric online
+//! would query (Sec. II: "this metric can be considered by the I/O
+//! scheduler to dynamically schedule I/O accesses").
+
+use simcore::{SimTime, StepSeries};
+use std::collections::BTreeMap;
+
+/// Incremental region aggregator over rank-phase intervals.
+///
+/// ```
+/// use tmio::online::OnlineAggregator;
+/// let mut agg = OnlineAggregator::new();
+/// agg.insert(0.0, 2.0, 100.0); // rank 0's window
+/// agg.insert(1.0, 3.0, 50.0);  // rank 1 overlaps [1, 2)
+/// assert_eq!(agg.peak(), 150.0); // the app-level requirement so far
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineAggregator {
+    /// Breakpoint -> region value from this breakpoint to the next.
+    /// An entry at t holds Σ B of intervals covering [t, next_t).
+    levels: BTreeMap<u64, f64>,
+    /// Running maximum over all regions ever formed.
+    peak: f64,
+    /// Number of intervals inserted.
+    inserted: usize,
+}
+
+/// Total order for f64 times via bit mapping (times are non-negative and
+/// NaN-free here).
+fn key(t: f64) -> u64 {
+    debug_assert!(t >= 0.0 && !t.is_nan());
+    t.to_bits()
+}
+
+fn unkey(k: u64) -> f64 {
+    f64::from_bits(k)
+}
+
+impl OnlineAggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts one rank-phase interval `[ts, te)` carrying `value` (its
+    /// `B_{i,j}`); updates the running regions and peak.
+    pub fn insert(&mut self, ts: f64, te: f64, value: f64) {
+        assert!(te >= ts, "interval reversed");
+        if te <= ts || value == 0.0 {
+            return;
+        }
+        self.inserted += 1;
+        // Ensure breakpoints exist at ts and te, splitting the covering
+        // region so its value is preserved on both sides.
+        for t in [ts, te] {
+            let k = key(t);
+            if !self.levels.contains_key(&k) {
+                let prev = self
+                    .levels
+                    .range(..k)
+                    .next_back()
+                    .map(|(_, &v)| v)
+                    .unwrap_or(0.0);
+                self.levels.insert(k, prev);
+            }
+        }
+        // Add `value` to every region inside [ts, te).
+        let (a, b) = (key(ts), key(te));
+        for (_, v) in self.levels.range_mut(a..b) {
+            *v += value;
+            self.peak = self.peak.max(*v);
+        }
+    }
+
+    /// The current application-level requirement: `max_r B_r` over all
+    /// regions formed so far.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The region value at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.levels
+            .range(..=key(t))
+            .next_back()
+            .map(|(_, &v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Number of intervals inserted.
+    pub fn len(&self) -> usize {
+        self.inserted
+    }
+
+    /// True if nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Converts the current state into a [`StepSeries`] (identical to the
+    /// offline sweep over the same intervals).
+    pub fn to_series(&self) -> StepSeries {
+        let mut s = StepSeries::new();
+        for (&k, &v) in &self.levels {
+            s.push(SimTime::from_secs(unkey(k)), v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::{sweep, Interval};
+
+    #[test]
+    fn matches_offline_sweep_on_fig4_example() {
+        let intervals = [
+            Interval { ts: 0.0, te: 4.0, value: 1.0 },
+            Interval { ts: 1.0, te: 6.0, value: 2.0 },
+            Interval { ts: 2.0, te: 8.0, value: 4.0 },
+        ];
+        let mut agg = OnlineAggregator::new();
+        for iv in &intervals {
+            agg.insert(iv.ts, iv.te, iv.value);
+        }
+        let offline = sweep(&intervals);
+        let online = agg.to_series();
+        for t in [0.5, 1.5, 3.0, 5.0, 7.0, 9.0] {
+            assert_eq!(
+                online.value_at(SimTime::from_secs(t)),
+                offline.value_at(SimTime::from_secs(t)),
+                "mismatch at t={t}"
+            );
+        }
+        assert_eq!(agg.peak(), 7.0);
+    }
+
+    #[test]
+    fn peak_available_mid_stream() {
+        let mut agg = OnlineAggregator::new();
+        agg.insert(0.0, 10.0, 5.0);
+        assert_eq!(agg.peak(), 5.0);
+        agg.insert(2.0, 4.0, 3.0);
+        assert_eq!(agg.peak(), 8.0);
+        agg.insert(20.0, 30.0, 6.0);
+        assert_eq!(agg.peak(), 8.0, "disjoint interval cannot raise the peak");
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let intervals = [
+            (0.0, 3.0, 1.0),
+            (1.0, 2.0, 10.0),
+            (1.5, 4.0, 2.5),
+            (0.5, 1.7, 0.5),
+        ];
+        let mut fwd = OnlineAggregator::new();
+        for &(a, b, v) in &intervals {
+            fwd.insert(a, b, v);
+        }
+        let mut rev = OnlineAggregator::new();
+        for &(a, b, v) in intervals.iter().rev() {
+            rev.insert(a, b, v);
+        }
+        assert_eq!(fwd.peak(), rev.peak());
+        for t in [0.25, 0.75, 1.25, 1.6, 2.5, 3.5, 5.0] {
+            assert!(
+                (fwd.value_at(t) - rev.value_at(t)).abs() < 1e-12,
+                "order dependence at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_value_and_empty_interval_ignored() {
+        let mut agg = OnlineAggregator::new();
+        agg.insert(1.0, 1.0, 5.0);
+        agg.insert(1.0, 2.0, 0.0);
+        assert!(agg.is_empty());
+        assert_eq!(agg.peak(), 0.0);
+    }
+
+    #[test]
+    fn randomized_equivalence_with_offline() {
+        // Deterministic pseudo-random intervals; compare against the sweep.
+        let mut h = 0xDEADBEEFu64;
+        let mut next = || {
+            h ^= h << 13;
+            h ^= h >> 7;
+            h ^= h << 17;
+            (h % 1000) as f64 / 100.0
+        };
+        let mut intervals = Vec::new();
+        for _ in 0..200 {
+            let a = next();
+            let d = next() * 0.3 + 0.01;
+            let v = next() + 0.1;
+            intervals.push(Interval { ts: a, te: a + d, value: v });
+        }
+        let mut agg = OnlineAggregator::new();
+        for iv in &intervals {
+            agg.insert(iv.ts, iv.te, iv.value);
+        }
+        let offline = sweep(&intervals);
+        assert!(
+            (agg.peak() - offline.max_value()).abs() < 1e-9,
+            "online {} vs offline {}",
+            agg.peak(),
+            offline.max_value()
+        );
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            assert!(
+                (agg.value_at(t) - offline.value_at(SimTime::from_secs(t))).abs() < 1e-9,
+                "mismatch at {t}"
+            );
+        }
+    }
+}

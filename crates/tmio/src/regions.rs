@@ -1,0 +1,162 @@
+//! Application-level aggregation of rank metrics (paper Sec. IV-C, Eq. 3).
+//!
+//! Each rank-phase contributes an interval `[ts_{i,j}, te_{i,j})` carrying a
+//! value (its required bandwidth `B_{i,j}`, its limit, or its throughput).
+//! The application-level metric `B_r` in region `r` is the sum of the values
+//! whose interval contains the region start — found with a sweep line over
+//! the sorted start/end times, exactly as Fig. 4 illustrates.
+
+use simcore::{SimTime, StepSeries};
+
+/// One rank-phase interval with its metric value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Start of the I/O window (first submit), seconds.
+    pub ts: f64,
+    /// End of the window (matching wait reached / queue drained), seconds.
+    pub te: f64,
+    /// The metric value held over `[ts, te)` (e.g. `B_{i,j}` in bytes/s).
+    pub value: f64,
+}
+
+/// Sweep-line aggregation (Eq. 3): returns the step series of
+/// `Σ value` over the overlap regions. Zero-length intervals are ignored
+/// (they would contribute to a region of measure zero).
+pub fn sweep(intervals: &[Interval]) -> StepSeries {
+    let mut events: Vec<(f64, f64)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        debug_assert!(iv.te >= iv.ts, "interval must not be reversed");
+        if iv.te > iv.ts {
+            events.push((iv.ts, iv.value));
+            events.push((iv.te, -iv.value));
+        }
+    }
+    // Sort by time; at equal times apply removals before additions so that a
+    // region never double-counts an interval that ends exactly where another
+    // starts (intervals are right-open).
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("NaN-free")
+            .then(a.1.partial_cmp(&b.1).expect("NaN-free"))
+    });
+    let mut series = StepSeries::new();
+    let mut sum = 0.0;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            sum += events[i].1;
+            i += 1;
+        }
+        // Guard tiny FP residue at the end of the sweep.
+        if sum.abs() < 1e-9 {
+            sum = 0.0;
+        }
+        series.push(SimTime::from_secs(t), sum);
+    }
+    series
+}
+
+/// The application-level scalar from a sweep: `max_r B_r` — "the minimal
+/// required bandwidth at the application level such that … no time is spent
+/// waiting" (Sec. IV-C).
+pub fn max_region(intervals: &[Interval]) -> f64 {
+    sweep(intervals).max_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// The Fig. 4 worked example: three ranks, five regions.
+    ///
+    /// Windows (chosen to match the figure's ordering):
+    ///   B_{1,0}: [0, 4)  value 1
+    ///   B_{2,0}: [1, 6)  value 2
+    ///   B_{0,0}: [2, 8)  value 4
+    /// Regions: [0,1) → 1; [1,2) → 3 (B1+B2); [2,4) → 7 (all);
+    ///          [4,6) → 6 (B0+B2); [6,8) → 4 (B0); after 8 → 0.
+    #[test]
+    fn figure4_worked_example() {
+        let intervals = [
+            Interval { ts: 0.0, te: 4.0, value: 1.0 },
+            Interval { ts: 1.0, te: 6.0, value: 2.0 },
+            Interval { ts: 2.0, te: 8.0, value: 4.0 },
+        ];
+        let s = sweep(&intervals);
+        assert_eq!(s.value_at(t(0.5)), 1.0);
+        assert_eq!(s.value_at(t(1.5)), 3.0);
+        assert_eq!(s.value_at(t(3.0)), 7.0);
+        assert_eq!(s.value_at(t(5.0)), 6.0);
+        assert_eq!(s.value_at(t(7.0)), 4.0);
+        assert_eq!(s.value_at(t(9.0)), 0.0);
+        // Five change points before the trailing zero, plus the close.
+        assert_eq!(s.len(), 6);
+        assert_eq!(max_region(&intervals), 7.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let s = sweep(&[]);
+        assert!(s.is_empty());
+        assert_eq!(max_region(&[]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_intervals_do_not_sum() {
+        let intervals = [
+            Interval { ts: 0.0, te: 1.0, value: 5.0 },
+            Interval { ts: 2.0, te: 3.0, value: 7.0 },
+        ];
+        let s = sweep(&intervals);
+        assert_eq!(s.value_at(t(0.5)), 5.0);
+        assert_eq!(s.value_at(t(1.5)), 0.0);
+        assert_eq!(s.value_at(t(2.5)), 7.0);
+        assert_eq!(max_region(&intervals), 7.0);
+    }
+
+    #[test]
+    fn touching_intervals_do_not_overlap() {
+        // Right-open: [0,2) and [2,4) never coexist.
+        let intervals = [
+            Interval { ts: 0.0, te: 2.0, value: 3.0 },
+            Interval { ts: 2.0, te: 4.0, value: 4.0 },
+        ];
+        let s = sweep(&intervals);
+        assert_eq!(s.value_at(t(2.0)), 4.0);
+        assert_eq!(max_region(&intervals), 4.0);
+    }
+
+    #[test]
+    fn identical_intervals_stack() {
+        let intervals = [
+            Interval { ts: 1.0, te: 2.0, value: 2.5 },
+            Interval { ts: 1.0, te: 2.0, value: 2.5 },
+        ];
+        assert_eq!(max_region(&intervals), 5.0);
+    }
+
+    #[test]
+    fn zero_length_interval_ignored() {
+        let intervals = [Interval { ts: 1.0, te: 1.0, value: 100.0 }];
+        let s = sweep(&intervals);
+        assert_eq!(s.max_value(), 0.0);
+    }
+
+    #[test]
+    fn sweep_integral_equals_sum_of_areas() {
+        let intervals = [
+            Interval { ts: 0.0, te: 3.0, value: 2.0 },
+            Interval { ts: 1.0, te: 2.0, value: 10.0 },
+            Interval { ts: 2.5, te: 4.0, value: 4.0 },
+        ];
+        let s = sweep(&intervals);
+        let expected: f64 = intervals.iter().map(|iv| (iv.te - iv.ts) * iv.value).sum();
+        let got = s.integral(t(0.0), t(10.0));
+        assert!((got - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,73 @@
+//! The modified HACC-IO benchmark (paper Sec. VI-B) under each limiting
+//! strategy.
+//!
+//! Usage: `cargo run --release --example hacc_io [ranks] [particles] [loops]`
+//! (defaults: 64 ranks, 100 000 particles/rank, 10 loops — the Fig. 11
+//! configuration at a laptop-friendly rank count).
+
+use iobts::experiments::{run_hacc, ExpConfig};
+use iobts::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let particles: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let loops: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    let hacc = HaccConfig { particles_per_rank: particles, loops, ..Default::default() };
+    println!(
+        "=== HACC-IO: {ranks} ranks × {particles} particles × {loops} loops \
+         ({:.1} MB per rank per loop) ===\n",
+        hacc.data_bytes() / 1e6
+    );
+
+    // First prove the data kernel does what the benchmark claims: fill,
+    // serialize, read back, verify.
+    let ps = hpcwl::hacc::kernel::fill(1000, 0);
+    let bytes = hpcwl::hacc::kernel::serialize(&ps);
+    let back = hpcwl::hacc::kernel::deserialize(&bytes);
+    assert_eq!(hpcwl::hacc::kernel::verify(&ps, &back), 0);
+    println!("data kernel: 1000 particles round-tripped, 0 mismatches\n");
+
+    let strategies = [
+        Strategy::Direct { tol: 1.1 },
+        Strategy::UpOnly { tol: 1.1 },
+        Strategy::Adaptive { tol: 1.1, tol_i: 0.5 },
+        Strategy::None,
+    ];
+
+    println!(
+        "{:<10} {:>9} {:>10} {:>11} {:>9} {:>9} {:>9}",
+        "strategy", "time [s]", "B [GB/s]", "peakT[GB/s]", "exploit%", "lost%", "sync%"
+    );
+    for strategy in strategies {
+        let out = run_hacc(&ExpConfig::new(ranks, strategy), &hacc);
+        let d = out.report.decomposition();
+        let pct = d.percentages();
+        // Peak throughput after the limiter engages (whole run for "none").
+        let start = out.report.limit_start_time().unwrap_or(0.0);
+        let peak = out
+            .report
+            .windows
+            .iter()
+            .filter(|w| w.start >= start)
+            .map(|w| w.throughput())
+            .fold(0.0, f64::max);
+        println!(
+            "{:<10} {:>9.2} {:>10.2} {:>11.2} {:>9.1} {:>9.1} {:>9.1}",
+            strategy.name(),
+            out.app_time(),
+            out.report.required_bandwidth() / 1e9,
+            peak / 1e9,
+            pct[4] + pct[5],
+            pct[2] + pct[3],
+            pct[0] + pct[1],
+        );
+    }
+
+    println!(
+        "\nLimiting strategies keep the runtime (≈ unchanged) while flattening \
+         the I/O bursts;\nexploitation of the compute phases rises, visible I/O \
+         shrinks — the paper's Fig. 11/13 behaviour."
+    );
+}

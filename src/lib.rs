@@ -1,0 +1,38 @@
+//! # iobts — "I/O Behind the Scenes" in Rust
+//!
+//! A full-system reproduction of *Tarraf et al., "I/O Behind the Scenes:
+//! Bandwidth Requirements of HPC Applications with Asynchronous I/O"*
+//! (IEEE CLUSTER 2024) on a from-scratch simulation substrate:
+//!
+//! * [`tmio`] — the paper's core library: required-bandwidth tracing,
+//!   limiting strategies, application-level aggregation;
+//! * [`mpisim`] — the MPI-like virtual-time runtime with the ADIO-style
+//!   throttling I/O thread (the "modified MPICH");
+//! * [`pfsim`] — the fluid-flow parallel file system;
+//! * [`hpcwl`] — the HACC-IO and WaComM-like workloads;
+//! * [`clustersim`] — the batch-system simulator behind the motivation
+//!   study;
+//! * [`simcore`] — the discrete-event core.
+//!
+//! [`experiments`] bundles the standard run configurations used by the
+//! examples, the integration tests and the figure-regeneration harness.
+
+#![warn(missing_docs)]
+
+pub use clustersim;
+pub use hpcwl;
+pub use mpisim;
+pub use pfsim;
+pub use simcore;
+pub use tmio;
+
+pub mod experiments;
+
+/// Convenient re-exports for typical use.
+pub mod prelude {
+    pub use crate::experiments::{run_hacc, run_wacomm, ExpConfig, RunOutput};
+    pub use hpcwl::hacc::HaccConfig;
+    pub use hpcwl::wacomm::WacommConfig;
+    pub use mpisim::{threaded::Threaded, WorldConfig};
+    pub use tmio::{Strategy, Tracer, TracerConfig};
+}

@@ -1,0 +1,245 @@
+//! `iobts` — command-line front end to the reproduction.
+//!
+//! ```text
+//! iobts hacc    --ranks 64 --particles 100000 --loops 10 --strategy direct --tol 1.1
+//! iobts wacomm  --ranks 96 --iterations 50 --strategy up-only --json trace.json
+//! iobts cluster --limit
+//! iobts period  --ranks 16
+//! iobts help
+//! ```
+//!
+//! Every run prints the TMIO summary (required bandwidth, time split,
+//! overheads); `--json PATH` additionally writes the full trace in the
+//! format the real TMIO emits at `MPI_Finalize`.
+
+use iobts::experiments::{run_hacc, run_wacomm, ExpConfig, RunOutput};
+use iobts::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = match args.next() {
+        Some(c) => c,
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "hacc" => cmd_hacc(&opts),
+        "wacomm" => cmd_wacomm(&opts),
+        "cluster" => cmd_cluster(&opts),
+        "period" => cmd_period(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+iobts — \"I/O Behind the Scenes\" (CLUSTER'24) reproduction
+
+USAGE:
+    iobts <COMMAND> [OPTIONS]
+
+COMMANDS:
+    hacc      run the modified HACC-IO benchmark under TMIO
+    wacomm    run the WaComM-like transport workload under TMIO
+    cluster   run the 8-job motivation study (Figs. 1-2)
+    period    FTIO-style period detection on a HACC-IO run
+    help      show this text
+
+OPTIONS (with defaults):
+    --ranks N          MPI ranks                      [64]
+    --particles N      particles per rank (hacc)      [100000]
+    --loops N          HACC-IO loops                  [10]
+    --iterations N     WaComM iterations              [50]
+    --strategy S       none|direct|up-only|adaptive|mfu  [direct]
+    --tol X            tolerance factor               [1.1]
+    --seed N           master seed                    [2024]
+    --limit            cluster: cap job 4 during contention
+    --json PATH        write the TMIO trace as JSON";
+
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --{key}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+
+    fn strategy(&self) -> Result<Strategy, String> {
+        let tol: f64 = self.get("tol", 1.1)?;
+        match self.0.get("strategy").map(|s| s.as_str()).unwrap_or("direct") {
+            "none" => Ok(Strategy::None),
+            "direct" => Ok(Strategy::Direct { tol }),
+            "up-only" | "uponly" => Ok(Strategy::UpOnly { tol }),
+            "adaptive" => Ok(Strategy::Adaptive { tol, tol_i: 0.5 }),
+            "mfu" => Ok(Strategy::Mfu { tol, bins: 32 }),
+            other => Err(format!("unknown strategy `{other}`")),
+        }
+    }
+}
+
+fn parse_opts(args: impl Iterator<Item = String>) -> Result<Opts, String> {
+    let mut map = HashMap::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        // Flags without values.
+        if key == "limit" {
+            map.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(value) = args.next() else {
+            return Err(format!("--{key} needs a value"));
+        };
+        map.insert(key.to_string(), value);
+    }
+    Ok(Opts(map))
+}
+
+fn print_summary(out: &RunOutput) {
+    let report = &out.report;
+    let d = report.decomposition();
+    let pct = d.percentages();
+    println!("runtime            : {:>10.3} s (app) + {:.3} s post overhead", out.app_time(), report.post_overhead);
+    println!("required bandwidth : {:>10.1} MB/s (app level, max over regions)", report.required_bandwidth() / 1e6);
+    if let Some(t) = report.limit_start_time() {
+        println!("limiter engaged at : {t:>10.3} s");
+    }
+    println!("phases traced      : {:>10}", report.phases.len());
+    println!("intercepted calls  : {:>10}  (peri overhead {:.3} ms)", report.calls, report.peri_overhead * 1e3);
+    println!("\ntime split (% of total rank-time):");
+    let labels = [
+        "sync write", "sync read", "async write lost", "async read lost",
+        "async write exploit", "async read exploit", "compute (I/O free)",
+    ];
+    for (l, p) in labels.iter().zip(pct) {
+        if p > 0.005 {
+            println!("  {l:<20} {p:>6.1} %");
+        }
+    }
+}
+
+fn maybe_json(opts: &Opts, out: &RunOutput) -> Result<(), String> {
+    if let Some(path) = opts.0.get("json") {
+        std::fs::write(path, out.report.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("\ntrace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_hacc(opts: &Opts) -> Result<(), String> {
+    let ranks = opts.get("ranks", 64usize)?;
+    let hacc = HaccConfig {
+        particles_per_rank: opts.get("particles", 100_000u64)?,
+        loops: opts.get("loops", 10usize)?,
+        ..Default::default()
+    };
+    let mut cfg = ExpConfig::new(ranks, opts.strategy()?);
+    cfg.seed = opts.get("seed", 2024u64)?;
+    println!(
+        "HACC-IO: {ranks} ranks × {} particles × {} loops, strategy {}\n",
+        hacc.particles_per_rank,
+        hacc.loops,
+        cfg.strategy.name()
+    );
+    let out = run_hacc(&cfg, &hacc);
+    print_summary(&out);
+    maybe_json(opts, &out)
+}
+
+fn cmd_wacomm(opts: &Opts) -> Result<(), String> {
+    let ranks = opts.get("ranks", 96usize)?;
+    let wc = WacommConfig {
+        iterations: opts.get("iterations", 50usize)?,
+        ..Default::default()
+    };
+    let mut cfg = ExpConfig::new(ranks, opts.strategy()?);
+    cfg.seed = opts.get("seed", 2024u64)?;
+    println!(
+        "WaComM: {ranks} ranks, {} iterations, strategy {}\n",
+        wc.iterations,
+        cfg.strategy.name()
+    );
+    let out = run_wacomm(&cfg, &wc);
+    print_summary(&out);
+    maybe_json(opts, &out)
+}
+
+fn cmd_cluster(opts: &Opts) -> Result<(), String> {
+    use clustersim::{motivation_scenario, Cluster};
+    let limit = opts.flag("limit");
+    let (cfg, jobs) = motivation_scenario(limit, 1.0);
+    println!(
+        "cluster: {} nodes, PFS {:.0} GB/s, 8 jobs, job 4 async, limit {}\n",
+        cfg.nodes,
+        cfg.pfs.write_capacity / 1e9,
+        if limit { "ON (during contention)" } else { "off" }
+    );
+    let r = Cluster::new(cfg, jobs).run();
+    println!("{:<6} {:>6} {:>10} {:>10} {:>10}", "job", "nodes", "start", "end", "runtime");
+    for j in &r.jobs {
+        println!(
+            "{:<6} {:>6} {:>10.1} {:>10.1} {:>10.1}",
+            j.name, j.nodes, j.start, j.end,
+            j.runtime()
+        );
+    }
+    println!("\nmakespan {:.1} s", r.makespan);
+    Ok(())
+}
+
+fn cmd_period(opts: &Opts) -> Result<(), String> {
+    let ranks = opts.get("ranks", 16usize)?;
+    let hacc = HaccConfig {
+        particles_per_rank: opts.get("particles", 500_000u64)?,
+        loops: opts.get("loops", 12usize)?,
+        ..Default::default()
+    };
+    let cfg = ExpConfig::new(ranks, Strategy::None);
+    let out = run_hacc(&cfg, &hacc);
+    println!("HACC-IO {ranks} ranks: runtime {:.2} s", out.app_time());
+    match iobts::tmio::ftio::detect_period(&out.pfs_write, 0.0, out.app_time(), 2048) {
+        Some(est) => {
+            println!(
+                "dominant I/O period {:.2} s ({:.3} Hz), confidence {:.2}",
+                est.period, est.frequency, est.confidence
+            );
+            let nominal = hacc.compute_seconds() + hacc.verify_seconds()
+                + hacc.data_bytes() / 10e9;
+            println!("nominal loop period ≈ {nominal:.2} s");
+        }
+        None => println!("no periodic I/O detected"),
+    }
+    Ok(())
+}
