@@ -3,9 +3,9 @@
 //! updates, and the end-to-end interpreter.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pfsim::alloc::{water_fill, Demand};
+use pfsim::alloc::{water_fill, water_fill_into, Demand, WaterFillScratch};
 use pfsim::{Channel, FlowSpec, Pfs, PfsConfig};
-use simcore::SimTime;
+use simcore::{EventQueue, SimTime};
 use std::hint::black_box;
 use tmio::regions::{sweep, Interval};
 use tmio::{Strategy, StrategyState};
@@ -17,7 +17,11 @@ fn bench_water_fill(c: &mut Criterion) {
             .map(|i| Demand {
                 count: 1 + i % 3,
                 weight: 1.0 + (i % 5) as f64,
-                cap: if i % 2 == 0 { Some(10.0 + i as f64) } else { None },
+                cap: if i % 2 == 0 {
+                    Some(10.0 + i as f64)
+                } else {
+                    None
+                },
             })
             .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &demands, |b, d| {
@@ -27,12 +31,90 @@ fn bench_water_fill(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_water_fill_into(c: &mut Criterion) {
+    let mut g = c.benchmark_group("water_fill_into");
+    for n in [4usize, 64, 1024] {
+        let demands: Vec<Demand> = (0..n)
+            .map(|i| Demand {
+                count: 1 + i % 3,
+                weight: 1.0 + (i % 5) as f64,
+                cap: if i % 2 == 0 {
+                    Some(10.0 + i as f64)
+                } else {
+                    None
+                },
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &demands, |b, d| {
+            let mut scratch = WaterFillScratch::default();
+            let mut rates = Vec::new();
+            b.iter(|| {
+                black_box(water_fill_into(
+                    black_box(5_000.0),
+                    black_box(d),
+                    &mut scratch,
+                    &mut rates,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    // Steady-state churn at a fixed pending-set size: schedule, occasionally
+    // cancel, pop — the interpreter's inner-loop mix.
+    g.bench_function("churn_64pending_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(128);
+            let mut t = 0.0f64;
+            let mut held = Vec::with_capacity(16);
+            for i in 0..10_000u32 {
+                t += 0.001;
+                let k = q.schedule(SimTime::from_secs(t), i);
+                if i % 4 == 0 {
+                    held.push(k);
+                }
+                if q.len() >= 64 {
+                    if let Some(k) = held.pop() {
+                        q.cancel(k);
+                    }
+                    black_box(q.pop());
+                }
+            }
+            while q.pop().is_some() {}
+            black_box(q.now())
+        })
+    });
+    // Pure ordered drain: heap throughput without cancellation noise.
+    g.bench_function("fill_then_drain_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u32 {
+                // Shuffled-ish times exercise real sift costs.
+                let t = ((i.wrapping_mul(2654435761)) % 10_000) as f64 * 0.01;
+                q.schedule(SimTime::from_secs(t), i);
+            }
+            let mut n = 0u32;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
 fn bench_pfs_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("pfs_engine");
     for flows in [16usize, 256] {
         g.bench_with_input(BenchmarkId::new("burst", flows), &flows, |b, &n| {
             b.iter(|| {
-                let mut p = Pfs::new(PfsConfig { write_capacity: 1e9, read_capacity: 1e9 });
+                let mut p = Pfs::new(PfsConfig {
+                    write_capacity: 1e9,
+                    read_capacity: 1e9,
+                });
                 p.set_recording(false);
                 for i in 0..n {
                     p.submit(
@@ -54,7 +136,11 @@ fn bench_region_sweep(c: &mut Criterion) {
         let intervals: Vec<Interval> = (0..n)
             .map(|i| {
                 let t = i as f64 * 0.01;
-                Interval { ts: t, te: t + 0.5 + (i % 9) as f64 * 0.1, value: 1.0 + (i % 4) as f64 }
+                Interval {
+                    ts: t,
+                    te: t + 0.5 + (i % 9) as f64 * 0.1,
+                    value: 1.0 + (i % 4) as f64,
+                }
             })
             .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &intervals, |b, iv| {
@@ -69,7 +155,10 @@ fn bench_strategy(c: &mut Criterion) {
         let strategies = [
             Strategy::Direct { tol: 1.1 },
             Strategy::UpOnly { tol: 1.1 },
-            Strategy::Adaptive { tol: 1.1, tol_i: 0.5 },
+            Strategy::Adaptive {
+                tol: 1.1,
+                tol_i: 0.5,
+            },
             Strategy::Mfu { tol: 1.1, bins: 32 },
         ];
         b.iter(|| {
@@ -92,7 +181,11 @@ fn bench_interpreter(c: &mut Criterion) {
         b.iter(|| {
             let mut ops = Vec::new();
             for k in 0..10u32 {
-                ops.push(Op::IWrite { file: FileId(0), bytes: 1e6, tag: ReqTag(k) });
+                ops.push(Op::IWrite {
+                    file: FileId(0),
+                    bytes: 1e6,
+                    tag: ReqTag(k),
+                });
                 ops.push(Op::Compute { seconds: 0.01 });
                 ops.push(Op::Wait { tag: ReqTag(k) });
             }
@@ -137,6 +230,8 @@ fn bench_online_aggregator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_water_fill,
+    bench_water_fill_into,
+    bench_event_queue,
     bench_pfs_engine,
     bench_region_sweep,
     bench_strategy,

@@ -31,9 +31,21 @@ fn fig04_regions(c: &mut Criterion) {
     use tmio::regions::{max_region, Interval};
     cfg(c).bench_function("fig04_region_example", |b| {
         let intervals = [
-            Interval { ts: 0.0, te: 4.0, value: 1.0 },
-            Interval { ts: 1.0, te: 6.0, value: 2.0 },
-            Interval { ts: 2.0, te: 8.0, value: 4.0 },
+            Interval {
+                ts: 0.0,
+                te: 4.0,
+                value: 1.0,
+            },
+            Interval {
+                ts: 1.0,
+                te: 6.0,
+                value: 2.0,
+            },
+            Interval {
+                ts: 2.0,
+                te: 8.0,
+                value: 4.0,
+            },
         ];
         b.iter(|| black_box(max_region(black_box(&intervals))))
     });
@@ -57,16 +69,12 @@ fn fig08_09_10_series(c: &mut Criterion) {
     });
     cfg(c).bench_function("fig09_wacomm_uponly", |b| {
         b.iter(|| {
-            black_box(
-                scenarios::wacomm_series(24, Strategy::UpOnly { tol: 1.1 }, 0.0).app_time(),
-            )
+            black_box(scenarios::wacomm_series(24, Strategy::UpOnly { tol: 1.1 }, 0.0).app_time())
         })
     });
     cfg(c).bench_function("fig10_wacomm_scale", |b| {
         b.iter(|| {
-            black_box(
-                scenarios::wacomm_series(48, Strategy::UpOnly { tol: 1.1 }, 1.2).app_time(),
-            )
+            black_box(scenarios::wacomm_series(48, Strategy::UpOnly { tol: 1.1 }, 1.2).app_time())
         })
     });
 }
@@ -89,16 +97,14 @@ fn fig13_14_series(c: &mut Criterion) {
     cfg(c).bench_function("fig13_hacc_strategies", |b| {
         b.iter(|| {
             black_box(
-                scenarios::hacc_series(32, 20_000, Strategy::Direct { tol: 1.1 }, false)
-                    .app_time(),
+                scenarios::hacc_series(32, 20_000, Strategy::Direct { tol: 1.1 }, false).app_time(),
             )
         })
     });
     cfg(c).bench_function("fig14_hacc_capacity_noise", |b| {
         b.iter(|| {
             black_box(
-                scenarios::hacc_series(32, 20_000, Strategy::Direct { tol: 1.1 }, true)
-                    .app_time(),
+                scenarios::hacc_series(32, 20_000, Strategy::Direct { tol: 1.1 }, true).app_time(),
             )
         })
     });

@@ -47,7 +47,11 @@ fn main() {
 }
 
 fn hacc() -> HaccConfig {
-    HaccConfig { particles_per_rank: 100_000, loops: 8, ..Default::default() }
+    HaccConfig {
+        particles_per_rank: 100_000,
+        loops: 8,
+        ..Default::default()
+    }
 }
 
 fn header(t: &str) {
@@ -67,7 +71,10 @@ fn stats(out: &iobts::experiments::RunOutput) -> (f64, f64, f64) {
 /// but less exploitation (the trade-off of Sec. IV-B).
 fn tol_sweep() {
     header("direct-strategy tolerance (HACC-IO, 16 ranks)");
-    println!("{:>6} {:>10} {:>8} {:>9}", "tol", "time [s]", "lost %", "exploit %");
+    println!(
+        "{:>6} {:>10} {:>8} {:>9}",
+        "tol", "time [s]", "lost %", "exploit %"
+    );
     let mut rows = Vec::new();
     for tol in [0.8, 0.9, 1.0, 1.1, 1.3, 1.5, 2.0] {
         let out = run_hacc(&ExpConfig::new(16, Strategy::Direct { tol }), &hacc());
@@ -105,10 +112,20 @@ fn subreq_sweep() {
             peak = peak.max(r);
             x += 0.05;
         }
-        println!("{:>9} KiB {:>10.2} {:>9.1} {:>22.1}", kib, t, lost, peak / 1e6);
+        println!(
+            "{:>9} KiB {:>10.2} {:>9.1} {:>22.1}",
+            kib,
+            t,
+            lost,
+            peak / 1e6
+        );
         rows.push(format!("{kib},{t:.4},{lost:.2},{:.1}", peak / 1e6));
     }
-    write_csv("ablation_subreq", "subreq_kib,time_s,lost_pct,peak_mbs", &rows);
+    write_csv(
+        "ablation_subreq",
+        "subreq_kib,time_s,lost_pct,peak_mbs",
+        &rows,
+    );
 }
 
 /// Window-end and aggregation semantics (the TMIO options of Sec. IV-A).
@@ -128,12 +145,22 @@ fn semantics() {
             let b = 10e6;
             let mut ops = Vec::new();
             for k in 0..4u32 {
-                ops.push(Op::IWrite { file: FileId(0), bytes: b, tag: ReqTag(2 * k) });
-                ops.push(Op::IWrite { file: FileId(0), bytes: b, tag: ReqTag(2 * k + 1) });
+                ops.push(Op::IWrite {
+                    file: FileId(0),
+                    bytes: b,
+                    tag: ReqTag(2 * k),
+                });
+                ops.push(Op::IWrite {
+                    file: FileId(0),
+                    bytes: b,
+                    tag: ReqTag(2 * k + 1),
+                });
                 ops.push(Op::Compute { seconds: 1.0 });
                 ops.push(Op::Wait { tag: ReqTag(2 * k) });
                 ops.push(Op::Compute { seconds: 0.5 });
-                ops.push(Op::Wait { tag: ReqTag(2 * k + 1) });
+                ops.push(Op::Wait {
+                    tag: ReqTag(2 * k + 1),
+                });
             }
             let mut tc = TracerConfig::trace_only();
             tc.te_mode = te;
@@ -143,8 +170,7 @@ fn semantics() {
             let mut w = World::new(wc, vec![Program::from_ops(ops); 4], Tracer::new(4, tc));
             w.create_file("f");
             w.run();
-            let report =
-                std::mem::replace(w.hooks_mut(), Tracer::new(0, tc)).into_report();
+            let report = std::mem::replace(w.hooks_mut(), Tracer::new(0, tc)).into_report();
             let rank_b = report.phases[0].b_required / 1e6;
             let app_b = report.required_bandwidth() / 1e6;
             println!("{te:<10?} {agg:<5?} {rank_b:>14.1} {app_b:>14.1}");
@@ -158,7 +184,10 @@ fn semantics() {
 /// Pacing the trailing sync writes vs leaving them unthrottled.
 fn limit_sync() {
     header("limit applies to blocking I/O too? (WaComM, 96 ranks, up-only)");
-    println!("{:<12} {:>10} {:>12}", "limit sync", "time [s]", "final tail [s]");
+    println!(
+        "{:<12} {:>10} {:>12}",
+        "limit sync", "time [s]", "final tail [s]"
+    );
     let mut rows = Vec::new();
     for on in [true, false] {
         let mut cfg = ExpConfig::new(96, Strategy::UpOnly { tol: 1.1 });
@@ -171,9 +200,17 @@ fn limit_sync() {
             out.app_time(),
             d.sync_write / 96.0
         );
-        rows.push(format!("{on},{:.4},{:.4}", out.app_time(), d.sync_write / 96.0));
+        rows.push(format!(
+            "{on},{:.4},{:.4}",
+            out.app_time(),
+            d.sync_write / 96.0
+        ));
     }
-    write_csv("ablation_limitsync", "limit_sync,time_s,sync_write_mean_s", &rows);
+    write_csv(
+        "ablation_limitsync",
+        "limit_sync,time_s,sync_write_mean_s",
+        &rows,
+    );
 }
 
 /// The \[33\] interference model — an honestly negative ablation. The toll is
@@ -202,7 +239,11 @@ fn interference() {
         println!("{alpha:>8.0} {none:>14.2} {up:>14.2} {gain:>+9.1}%");
         rows.push(format!("{alpha},{none:.4},{up:.4},{gain:.2}"));
     }
-    write_csv("ablation_interference", "alpha,none_s,uponly_s,gain_pct", &rows);
+    write_csv(
+        "ablation_interference",
+        "alpha,none_s,uponly_s,gain_pct",
+        &rows,
+    );
     println!(
         "(both runs slow equally: pacing preserves the burst microstructure, so\n\
          the paper's thread-competition speedup is not reproducible in a fluid\n\
@@ -214,21 +255,34 @@ fn interference() {
 /// published strategies on a workload with a recurring phase pattern.
 fn mfu() {
     header("MFU-table strategy vs the paper's three (HACC-IO, 16 ranks)");
-    println!("{:<10} {:>10} {:>8} {:>9}", "strategy", "time [s]", "lost %", "exploit %");
+    println!(
+        "{:<10} {:>10} {:>8} {:>9}",
+        "strategy", "time [s]", "lost %", "exploit %"
+    );
     let mut rows = Vec::new();
     for strategy in [
         Strategy::Direct { tol: 1.1 },
         Strategy::UpOnly { tol: 1.1 },
-        Strategy::Adaptive { tol: 1.1, tol_i: 0.5 },
+        Strategy::Adaptive {
+            tol: 1.1,
+            tol_i: 0.5,
+        },
         Strategy::Mfu { tol: 1.3, bins: 32 },
         Strategy::None,
     ] {
         let out = run_hacc(&ExpConfig::new(16, strategy), &hacc());
         let (t, lost, exploit) = stats(&out);
-        println!("{:<10} {t:>10.2} {lost:>8.1} {exploit:>9.1}", strategy.name());
+        println!(
+            "{:<10} {t:>10.2} {lost:>8.1} {exploit:>9.1}",
+            strategy.name()
+        );
         rows.push(format!("{},{t:.4},{lost:.2},{exploit:.2}", strategy.name()));
     }
-    write_csv("ablation_mfu", "strategy,time_s,lost_pct,exploit_pct", &rows);
+    write_csv(
+        "ablation_mfu",
+        "strategy,time_s,lost_pct,exploit_pct",
+        &rows,
+    );
 }
 
 /// Burst buffer for synchronous I/O: the future-work extension.
@@ -236,9 +290,17 @@ fn burst_buffer() {
     use pfsim::burstbuffer::required_drain_bandwidth;
     use pfsim::BurstBufferConfig;
     header("burst buffer for synchronous HACC-IO (16 ranks, sync baseline)");
-    let hc = HaccConfig { particles_per_rank: 1_000_000, loops: 8, ..Default::default() };
+    let hc = HaccConfig {
+        particles_per_rank: 1_000_000,
+        loops: 8,
+        ..Default::default()
+    };
     let period = hc.compute_seconds() + hc.verify_seconds();
-    let bb = BurstBufferConfig { size_bytes: 4e9, absorb_rate: 5e9, drain_rate: 1e9 };
+    let bb = BurstBufferConfig {
+        size_bytes: 4e9,
+        absorb_rate: 5e9,
+        drain_rate: 1e9,
+    };
     println!(
         "per-rank burst {:.1} MB every {:.2} s -> required drain {:.1} MB/s (drain cap {:.0} MB/s)",
         hc.data_bytes() / 1e6,
@@ -246,13 +308,19 @@ fn burst_buffer() {
         required_drain_bandwidth(hc.data_bytes(), period, &bb).unwrap() / 1e6,
         bb.drain_rate / 1e6,
     );
-    println!("{:<10} {:>10} {:>12} {:>22}", "tier", "time [s]", "syncW [s]", "sustained peak [MB/s]");
+    println!(
+        "{:<10} {:>10} {:>12} {:>22}",
+        "tier", "time [s]", "syncW [s]", "sustained peak [MB/s]"
+    );
     let mut rows = Vec::new();
     for with_bb in [false, true] {
         let mut cfg = ExpConfig::new(16, Strategy::None);
         // A modest mid-range PFS (1 GB/s) where checkpoint bursts hurt —
         // the tier is pointless on an idle 106 GB/s system.
-        cfg.pfs = pfsim::PfsConfig { write_capacity: 1e9, read_capacity: 1e9 };
+        cfg.pfs = pfsim::PfsConfig {
+            write_capacity: 1e9,
+            read_capacity: 1e9,
+        };
         if with_bb {
             cfg.burst_buffer = Some(bb);
         }
@@ -282,7 +350,11 @@ fn burst_buffer() {
             peak / 1e6
         ));
     }
-    write_csv("ablation_bb", "with_bb,time_s,sync_write_mean_s,peak_mbs", &rows);
+    write_csv(
+        "ablation_bb",
+        "with_bb,time_s,sync_write_mean_s,peak_mbs",
+        &rows,
+    );
     println!(
         "(the buffer absorbs the bursts: visible sync-write time collapses and the\n\
          runtime improves; the same bytes still cross the PFS, so its saturation\n\

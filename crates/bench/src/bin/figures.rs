@@ -4,10 +4,13 @@
 //! cargo run -p bench --release --bin figures -- all          # everything
 //! cargo run -p bench --release --bin figures -- fig09        # one figure
 //! cargo run -p bench --release --bin figures -- --full all   # paper scale
+//! cargo run -p bench --release --bin figures -- --jobs 1 all # force serial
 //! ```
 //!
 //! Each figure prints the series/rows the paper plots and writes a CSV to
-//! `results/`. Paper-vs-measured notes live in EXPERIMENTS.md.
+//! `results/`. Independent sweep points run on a bounded thread pool
+//! (`--jobs N` or `$IOBTS_JOBS` override the width; output is byte-identical
+//! at any width). Paper-vs-measured notes live in EXPERIMENTS.md.
 
 use bench::scenarios;
 use bench::{multi_series_rows, sweeps, write_csv};
@@ -17,11 +20,21 @@ use tmio::Strategy;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let n = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .expect("--jobs needs a positive integer");
+            bench::par::set_jobs(n.max(1));
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            bench::par::set_jobs(v.parse::<usize>().expect("--jobs needs an integer").max(1));
+        } else if !a.starts_with("--") {
+            wanted.push(a.as_str());
+        }
+    }
     let all = wanted.is_empty() || wanted.contains(&"all");
     let want = |id: &str| all || wanted.contains(&id);
 
@@ -73,7 +86,10 @@ fn header(id: &str, what: &str) {
 
 /// Figs. 1 & 2: motivation — 8 jobs, job 4 async, limited during contention.
 fn fig01_02() {
-    header("fig01", "job runtimes with/without limiting job 4 (ElastiSim study)");
+    header(
+        "fig01",
+        "job runtimes with/without limiting job 4 (ElastiSim study)",
+    );
     let out = scenarios::motivation();
     let mut rows = Vec::new();
     println!(
@@ -128,7 +144,11 @@ fn fig01_02() {
         "  with {}",
         bench::sparkline(&out.limited.total_bandwidth, 0.0, horizon, 72)
     );
-    let p = write_csv("fig02_bandwidth", "t,without_limit_Bps,with_limit_Bps", &rows);
+    let p = write_csv(
+        "fig02_bandwidth",
+        "t,without_limit_Bps,with_limit_Bps",
+        &rows,
+    );
     println!("-> {}", p.display());
     // Job-4 band for the stacked view.
     let rows4 = multi_series_rows(
@@ -159,9 +179,16 @@ fn fig03() {
             "{:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12.4}",
             j, s.submit, s.complete, s.wait_enter, dt, dta
         );
-        rows.push(format!("{j},{},{},{},{dt},{dta}", s.submit, s.complete, s.wait_enter));
+        rows.push(format!(
+            "{j},{},{},{},{dt},{dta}",
+            s.submit, s.complete, s.wait_enter
+        ));
     }
-    let p = write_csv("fig03_timeline", "phase,submit,complete,wait_enter,dt,dta", &rows);
+    let p = write_csv(
+        "fig03_timeline",
+        "phase,submit,complete,wait_enter,dt,dta",
+        &rows,
+    );
     println!("-> {}", p.display());
     println!("(Δtᵃ < Δt on every phase: the I/O is fully hidden, as in Fig. 3)");
 }
@@ -171,9 +198,21 @@ fn fig04() {
     header("fig04", "region sweep worked example (Eq. 3)");
     use tmio::regions::{sweep, Interval};
     let intervals = [
-        Interval { ts: 0.0, te: 4.0, value: 1.0 },
-        Interval { ts: 1.0, te: 6.0, value: 2.0 },
-        Interval { ts: 2.0, te: 8.0, value: 4.0 },
+        Interval {
+            ts: 0.0,
+            te: 4.0,
+            value: 1.0,
+        },
+        Interval {
+            ts: 1.0,
+            te: 6.0,
+            value: 2.0,
+        },
+        Interval {
+            ts: 2.0,
+            te: 8.0,
+            value: 4.0,
+        },
     ];
     println!("inputs: B1 over [0,4)=1, B2 over [1,6)=2, B0 over [2,8)=4");
     let s = sweep(&intervals);
@@ -196,17 +235,13 @@ fn fig05_06(full: bool) {
         "{:>6} {:<7} {:>10} {:>10} {:>10} {:>10}",
         "ranks", "run", "app [s]", "peri [s]", "post [s]", "total [s]"
     );
-    let mut csv = Vec::new();
     for r in &rows {
         println!(
             "{:>6} {:<7} {:>10.2} {:>10.4} {:>10.3} {:>10.2}",
             r.ranks, r.run, r.app, r.peri, r.post, r.total
         );
-        csv.push(format!(
-            "{},{},{:.4},{:.6},{:.4},{:.4},{:.2},{:.2}",
-            r.ranks, r.run, r.app, r.peri, r.post, r.total, r.visible_pct, r.compute_pct
-        ));
     }
+    let csv = bench::overhead_csv_rows(&rows);
     let p = write_csv(
         "fig05_06_overheads",
         "ranks,run,app_s,peri_s,post_s,total_s,visible_io_pct,compute_pct",
@@ -234,10 +269,18 @@ fn fig05_06(full: bool) {
 fn print_dist(rows: &[scenarios::DistRow]) -> Vec<String> {
     println!(
         "{:>6} {:>4} {:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
-        "ranks", "run", "strategy", "syncW%", "syncR%", "lostW%", "lostR%", "explW%", "explR%",
-        "compute%", "app [s]"
+        "ranks",
+        "run",
+        "strategy",
+        "syncW%",
+        "syncR%",
+        "lostW%",
+        "lostR%",
+        "explW%",
+        "explR%",
+        "compute%",
+        "app [s]"
     );
-    let mut csv = Vec::new();
     for r in rows {
         println!(
             "{:>6} {:>4} {:<9} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>9.2}",
@@ -253,27 +296,16 @@ fn print_dist(rows: &[scenarios::DistRow]) -> Vec<String> {
             r.pct[6],
             r.app
         );
-        csv.push(format!(
-            "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3}",
-            r.ranks,
-            r.run,
-            r.strategy,
-            r.pct[0],
-            r.pct[1],
-            r.pct[2],
-            r.pct[3],
-            r.pct[4],
-            r.pct[5],
-            r.pct[6],
-            r.app
-        ));
     }
-    csv
+    bench::dist_csv_rows(rows)
 }
 
 /// Fig. 7: WaComM time distribution across ranks and strategies.
 fn fig07(full: bool) {
-    header("fig07", "WaComM time distribution (direct tol=2 / up-only tol=1.1 / none)");
+    header(
+        "fig07",
+        "WaComM time distribution (direct tol=2 / up-only tol=1.1 / none)",
+    );
     let rows = scenarios::wacomm_distribution(&sweeps::wacomm_ranks(full));
     let csv = print_dist(&rows);
     let p = write_csv(
@@ -340,27 +372,41 @@ fn fig09() {
             }
         }
     }
-    println!("{track}/{total} throttled windows within 25 % of the rank's B_L (T follows the limit)");
+    println!(
+        "{track}/{total} throttled windows within 25 % of the rank's B_L (T follows the limit)"
+    );
 }
 
 /// Fig. 10: WaComM at scale — up-only vs none.
 fn fig10(full: bool) {
     let ranks = if full { 9216 } else { 384 };
-    header("fig10", "WaComM at scale: up-only vs no limit (exploit & runtime)");
+    header(
+        "fig10",
+        "WaComM at scale: up-only vs no limit (exploit & runtime)",
+    );
     // The paper attributes its ≈11.6 % speedup to reduced resource
     // competition of the I/O threads [33] — an effect it defers to future
     // work; the virtual-time substrate reproduces runtime *parity* and the
     // exploitation gap. Set alpha > 0 to model the competition synthetically
     // (ablation `interference` in the benches).
     let alpha = 0.0;
-    let none = scenarios::wacomm_series(ranks, Strategy::None, alpha);
-    let uponly = scenarios::wacomm_series(ranks, Strategy::UpOnly { tol: 1.1 }, alpha);
+    let strategies = [Strategy::None, Strategy::UpOnly { tol: 1.1 }];
+    let mut outs = bench::par::par_map(&strategies, |&strategy| {
+        scenarios::wacomm_series(ranks, strategy, alpha)
+    });
+    let uponly = outs.pop().unwrap();
+    let none = outs.pop().unwrap();
     let d_none = none.report.decomposition();
     let d_up = uponly.report.decomposition();
     let e_none = 100.0 * d_none.exploit() / d_none.total.max(1e-12);
     let e_up = 100.0 * d_up.exploit() / d_up.total.max(1e-12);
     println!("{:<10} {:>10} {:>10}", "run", "time [s]", "exploit %");
-    println!("{:<10} {:>10.2} {:>10.1}", "up-only", uponly.app_time(), e_up);
+    println!(
+        "{:<10} {:>10.2} {:>10.1}",
+        "up-only",
+        uponly.app_time(),
+        e_up
+    );
     println!("{:<10} {:>10.2} {:>10.1}", "none", none.app_time(), e_none);
     let speedup = 100.0 * (none.app_time() - uponly.app_time()) / none.app_time();
     println!(
@@ -374,7 +420,10 @@ fn fig10(full: bool) {
 
 /// Fig. 11: HACC-IO time distribution across ranks, four strategies.
 fn fig11(full: bool) {
-    header("fig11", "HACC-IO time distribution (direct/up-only/adaptive/none, tol=1.1)");
+    header(
+        "fig11",
+        "HACC-IO time distribution (direct/up-only/adaptive/none, tol=1.1)",
+    );
     let particles = if full { 100_000 } else { 50_000 };
     let rows = scenarios::hacc_distribution(&sweeps::hacc_ranks(full), particles);
     let csv = print_dist(&rows);
@@ -388,9 +437,15 @@ fn fig11(full: bool) {
 
 /// Fig. 12: the modified HACC-IO structure.
 fn fig12() {
-    header("fig12", "modified HACC-IO benchmark structure (op schedule)");
+    header(
+        "fig12",
+        "modified HACC-IO benchmark structure (op schedule)",
+    );
     use hpcwl::hacc::HaccConfig;
-    let cfg = HaccConfig { loops: 2, ..Default::default() };
+    let cfg = HaccConfig {
+        loops: 2,
+        ..Default::default()
+    };
     let p = cfg.program(mpisim::FileId(0));
     for (i, op) in p.ops().iter().enumerate() {
         println!("{i:>3}: {op:?}");
@@ -406,13 +461,22 @@ fn fig13(full: bool) {
     let ranks = if full { 9216 } else { 384 };
     let particles = 100_000;
     header("fig13", "HACC-IO at scale: T/B_L/B series per strategy");
-    for (name, strategy) in [
+    let runs = [
         ("direct", Strategy::Direct { tol: 1.1 }),
         ("uponly", Strategy::UpOnly { tol: 1.1 }),
-        ("adaptive", Strategy::Adaptive { tol: 1.1, tol_i: 0.5 }),
+        (
+            "adaptive",
+            Strategy::Adaptive {
+                tol: 1.1,
+                tol_i: 0.5,
+            },
+        ),
         ("none", Strategy::None),
-    ] {
-        let out = scenarios::hacc_series(ranks, particles, strategy, false);
+    ];
+    let outs = bench::par::par_map(&runs, |&(_, strategy)| {
+        scenarios::hacc_series(ranks, particles, strategy, false)
+    });
+    for ((name, _), out) in runs.iter().zip(&outs) {
         let d = out.report.decomposition();
         println!(
             "\n[{name}] runtime {:.2} s, exploit {:.1} %, lost {:.1} %",
@@ -420,16 +484,22 @@ fn fig13(full: bool) {
             100.0 * d.exploit() / d.total.max(1e-12),
             100.0 * (d.async_write_lost + d.async_read_lost) / d.total.max(1e-12)
         );
-        dump_series(&out, &format!("fig13_{name}"));
+        dump_series(out, &format!("fig13_{name}"));
     }
 }
 
 /// Fig. 14: HACC-IO 1536 ranks, direct strategy, I/O variability.
 fn fig14(full: bool) {
     let ranks = if full { 1536 } else { 192 };
-    header("fig14", "HACC-IO direct strategy under PFS capacity noise: waits appear");
-    let noisy = scenarios::hacc_series(ranks, 100_000, Strategy::Direct { tol: 1.1 }, true);
-    let clean = scenarios::hacc_series(ranks, 100_000, Strategy::Direct { tol: 1.1 }, false);
+    header(
+        "fig14",
+        "HACC-IO direct strategy under PFS capacity noise: waits appear",
+    );
+    let mut outs = bench::par::par_map(&[true, false], |&noise| {
+        scenarios::hacc_series(ranks, 100_000, Strategy::Direct { tol: 1.1 }, noise)
+    });
+    let clean = outs.pop().unwrap();
+    let noisy = outs.pop().unwrap();
     let d_noisy = noisy.report.decomposition();
     let d_clean = clean.report.decomposition();
     println!(

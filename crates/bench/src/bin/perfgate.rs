@@ -1,0 +1,261 @@
+//! Performance gate for the figure harness and the simulation hot loops.
+//!
+//! ```text
+//! cargo run -p bench --release --bin perfgate            # quick scale
+//! IOBTS_BENCH_OUT=path.json cargo run -p bench --release --bin perfgate
+//! ```
+//!
+//! Times every sweep-style figure scenario twice — forced single-thread and
+//! at the host's full worker count — plus the micro-kernels behind them
+//! (water-filling allocator, PFS completion harvesting, event-queue churn),
+//! and writes the measurements to `BENCH_pr1.json`. On a single-core host the
+//! jobs-N column degenerates to jobs-1; the parallel speedup claim is only
+//! meaningful where `cores > 1` (recorded in the JSON).
+
+use bench::par::{jobs, with_jobs};
+use bench::{scenarios, sweeps};
+use pfsim::alloc::{water_fill, water_fill_into, Demand, WaterFillScratch};
+use pfsim::{Channel, FlowSpec, Pfs, PfsConfig};
+use simcore::{EventQueue, SimTime};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Entry {
+    name: String,
+    jobs1_s: f64,
+    jobs_n_s: f64,
+}
+
+fn gate_figures(entries: &mut Vec<Entry>, reps: usize) {
+    let hacc_ranks = sweeps::hacc_ranks(false);
+    let wacomm_ranks = sweeps::wacomm_ranks(false);
+
+    let figures: Vec<(&str, Box<dyn Fn() + Sync>)> = vec![
+        (
+            "fig05_06_hacc_overheads",
+            Box::new({
+                let r = hacc_ranks.clone();
+                move || {
+                    black_box(scenarios::hacc_overheads(&r, 100_000));
+                }
+            }),
+        ),
+        (
+            "fig07_wacomm_distribution",
+            Box::new({
+                let r = wacomm_ranks.clone();
+                move || {
+                    black_box(scenarios::wacomm_distribution(&r));
+                }
+            }),
+        ),
+        (
+            "fig11_hacc_distribution",
+            Box::new({
+                let r = hacc_ranks.clone();
+                move || {
+                    black_box(scenarios::hacc_distribution(&r, 50_000));
+                }
+            }),
+        ),
+        (
+            "fig13_hacc_series_x4",
+            Box::new(|| {
+                use tmio::Strategy;
+                let runs = [
+                    Strategy::Direct { tol: 1.1 },
+                    Strategy::UpOnly { tol: 1.1 },
+                    Strategy::Adaptive {
+                        tol: 1.1,
+                        tol_i: 0.5,
+                    },
+                    Strategy::None,
+                ];
+                black_box(bench::par::par_map(&runs, |&s| {
+                    scenarios::hacc_series(384, 100_000, s, false)
+                }));
+            }),
+        ),
+    ];
+
+    let n = jobs();
+    for (name, f) in &figures {
+        eprintln!("[perfgate] {name} ...");
+        let jobs1_s = best_secs(reps, || with_jobs(1, || f()));
+        let jobs_n_s = if n > 1 {
+            best_secs(reps, || with_jobs(n, || f()))
+        } else {
+            jobs1_s
+        };
+        entries.push(Entry {
+            name: (*name).to_string(),
+            jobs1_s,
+            jobs_n_s,
+        });
+    }
+}
+
+/// ns/op of a from-scratch `water_fill` vs the buffer-reusing
+/// `water_fill_into` at a representative group count.
+fn gate_water_fill() -> (f64, f64) {
+    let n = 1024usize;
+    let demands: Vec<Demand> = (0..n)
+        .map(|i| Demand {
+            count: 1 + i % 3,
+            weight: 1.0 + (i % 5) as f64,
+            cap: if i % 2 == 0 {
+                Some(10.0 + i as f64)
+            } else {
+                None
+            },
+        })
+        .collect();
+    let iters = 2_000u32;
+    let alloc_ns = best_secs(5, || {
+        for _ in 0..iters {
+            black_box(water_fill(black_box(5_000.0), black_box(&demands)));
+        }
+    }) * 1e9
+        / iters as f64;
+    let mut scratch = WaterFillScratch::default();
+    let mut rates = Vec::new();
+    let into_ns = best_secs(5, || {
+        for _ in 0..iters {
+            black_box(water_fill_into(
+                black_box(5_000.0),
+                black_box(&demands),
+                &mut scratch,
+                &mut rates,
+            ));
+        }
+    }) * 1e9
+        / iters as f64;
+    (alloc_ns, into_ns)
+}
+
+/// ns per completed flow for a staggered PFS burst. Distinct sizes defeat
+/// group merging, so group count equals flow count — this is the regime where
+/// the completion-time index (O(1) `next_completion` instead of an O(groups)
+/// scan per harvest step) and the allocation-free reallocation pay off.
+fn gate_pfs_burst() -> f64 {
+    let flows = 2048usize;
+    best_secs(3, || {
+        let mut p = Pfs::new(PfsConfig {
+            write_capacity: 1e9,
+            read_capacity: 1e9,
+        });
+        p.set_recording(false);
+        for i in 0..flows {
+            p.submit(
+                SimTime::ZERO,
+                Channel::Write,
+                FlowSpec::simple(1e6 + (i as f64) * 137.0),
+            );
+        }
+        assert_eq!(p.advance_to(SimTime::from_secs(1e6)).len(), flows);
+    }) * 1e9
+        / flows as f64
+}
+
+/// ns/event for schedule→(cancel 1/4)→pop churn on the slot-map event queue.
+fn gate_queue_churn() -> f64 {
+    let events = 200_000usize;
+    best_secs(3, || {
+        let mut q = EventQueue::with_capacity(1024);
+        let mut t = 0.0f64;
+        let mut pending = Vec::with_capacity(64);
+        for i in 0..events {
+            t += 0.001;
+            let k = q.schedule(SimTime::from_secs(t), i);
+            if i % 4 == 0 {
+                pending.push(k);
+            }
+            if q.len() >= 64 {
+                if let Some(k) = pending.pop() {
+                    q.cancel(k);
+                }
+                black_box(q.pop());
+            }
+        }
+        while q.pop().is_some() {}
+    }) * 1e9
+        / events as f64
+}
+
+fn main() {
+    let reps = 2;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t0 = Instant::now();
+
+    let mut entries = Vec::new();
+    gate_figures(&mut entries, reps);
+    eprintln!("[perfgate] micro kernels ...");
+    let (wf_alloc_ns, wf_into_ns) = gate_water_fill();
+    let pfs_ns = gate_pfs_burst();
+    let queue_ns = gate_queue_churn();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"default_jobs\": {},\n", jobs()));
+    json.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    json.push_str("  \"figures\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = e.jobs1_s / e.jobs_n_s.max(1e-12);
+        json.push_str(&format!(
+            "    \"{}\": {{\"jobs1_s\": {:.4}, \"jobsN_s\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            e.name,
+            e.jobs1_s,
+            e.jobs_n_s,
+            speedup,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"micro\": {\n");
+    json.push_str(&format!(
+        "    \"water_fill_1024_alloc_ns\": {wf_alloc_ns:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"water_fill_1024_into_ns\": {wf_into_ns:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"water_fill_into_speedup\": {:.2},\n",
+        wf_alloc_ns / wf_into_ns.max(1e-12)
+    ));
+    json.push_str(&format!("    \"pfs_burst_ns_per_flow\": {pfs_ns:.1},\n"));
+    json.push_str(&format!(
+        "    \"queue_churn_ns_per_event\": {queue_ns:.1}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"gate_wall_s\": {:.1}\n",
+        t0.elapsed().as_secs_f64()
+    ));
+    json.push_str("}\n");
+
+    let out = std::env::var("IOBTS_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr1.json".to_string());
+    std::fs::write(&out, &json).expect("write bench json");
+    print!("{json}");
+    eprintln!("-> {out}");
+}

@@ -7,7 +7,43 @@ use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod par;
 pub mod scenarios;
+
+/// CSV rows for the Fig. 7/11 stacked-bar distributions — shared between the
+/// `figures` binary and the determinism test so both compare identical bytes.
+pub fn dist_csv_rows(rows: &[scenarios::DistRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3}",
+                r.ranks,
+                r.run,
+                r.strategy,
+                r.pct[0],
+                r.pct[1],
+                r.pct[2],
+                r.pct[3],
+                r.pct[4],
+                r.pct[5],
+                r.pct[6],
+                r.app
+            )
+        })
+        .collect()
+}
+
+/// CSV rows for the Fig. 5/6 overhead decomposition.
+pub fn overhead_csv_rows(rows: &[scenarios::OverheadRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "{},{},{:.4},{:.6},{:.4},{:.4},{:.2},{:.2}",
+                r.ranks, r.run, r.app, r.peri, r.post, r.total, r.visible_pct, r.compute_pct
+            )
+        })
+        .collect()
+}
 
 /// Where figure CSVs are written (`results/` under the workspace root, or
 /// `$IOBTS_RESULTS_DIR`).

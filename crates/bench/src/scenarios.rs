@@ -31,11 +31,12 @@ pub fn motivation() -> MotivationOut {
 /// Fig. 3: a single-rank trace exposing Δt (submit → wait) vs Δtᵃ
 /// (submit → completion) per phase.
 pub fn rank_timeline() -> RunOutput {
-    let hacc = HaccConfig { particles_per_rank: 200_000, loops: 4, ..Default::default() };
-    run_hacc(
-        &ExpConfig::new(1, Strategy::None).exact(),
-        &hacc,
-    )
+    let hacc = HaccConfig {
+        particles_per_rank: 200_000,
+        loops: 4,
+        ..Default::default()
+    };
+    run_hacc(&ExpConfig::new(1, Strategy::None).exact(), &hacc)
 }
 
 /// Fig. 5/6 rows: one entry per rank count and strategy.
@@ -61,31 +62,36 @@ pub struct OverheadRow {
 /// Figs. 5 & 6: HACC-IO runtime and overhead decomposition vs rank count,
 /// with the direct strategy (run 0) and without limiting (run 1).
 pub fn hacc_overheads(ranks: &[usize], particles: u64) -> Vec<OverheadRow> {
-    let mut rows = Vec::new();
-    for &n in ranks {
-        for (run, strategy) in [
-            ("direct", Strategy::Direct { tol: 1.1 }),
-            ("none", Strategy::None),
-        ] {
-            let mut cfg = ExpConfig::new(n, strategy);
-            cfg.record_pfs = false;
-            let hacc = HaccConfig { particles_per_rank: particles, ..Default::default() };
-            let out = run_hacc(&cfg, &hacc);
-            let d = out.report.decomposition();
-            let denom = d.total + out.report.post_overhead * n as f64;
-            rows.push(OverheadRow {
-                ranks: n,
-                run,
-                app: out.app_time(),
-                peri: out.report.peri_overhead,
-                post: out.report.post_overhead,
-                total: out.total_time(),
-                visible_pct: 100.0 * d.visible_io() / denom.max(1e-12),
-                compute_pct: 100.0 * (d.compute_io_free + d.exploit()) / denom.max(1e-12),
-            });
+    let points: Vec<(usize, &'static str, Strategy)> = ranks
+        .iter()
+        .flat_map(|&n| {
+            [
+                (n, "direct", Strategy::Direct { tol: 1.1 }),
+                (n, "none", Strategy::None),
+            ]
+        })
+        .collect();
+    crate::par::par_map(&points, |&(n, run, strategy)| {
+        let mut cfg = ExpConfig::new(n, strategy);
+        cfg.record_pfs = false;
+        let hacc = HaccConfig {
+            particles_per_rank: particles,
+            ..Default::default()
+        };
+        let out = run_hacc(&cfg, &hacc);
+        let d = out.report.decomposition();
+        let denom = d.total + out.report.post_overhead * n as f64;
+        OverheadRow {
+            ranks: n,
+            run,
+            app: out.app_time(),
+            peri: out.report.peri_overhead,
+            post: out.report.post_overhead,
+            total: out.total_time(),
+            visible_pct: 100.0 * d.visible_io() / denom.max(1e-12),
+            compute_pct: 100.0 * (d.compute_io_free + d.exploit()) / denom.max(1e-12),
         }
-    }
-    rows
+    })
 }
 
 /// One stacked bar of Figs. 7/11.
@@ -115,24 +121,28 @@ pub fn wacomm_distribution(ranks: &[usize]) -> Vec<DistRow> {
         ("none", Strategy::None),
     ];
     let wc = WacommConfig::default();
-    let mut rows = Vec::new();
-    for &n in ranks {
-        for (i, (name, strategy)) in runs.iter().enumerate() {
-            let mut cfg = ExpConfig::new(n, *strategy);
-            cfg.seed = 2024 + i as u64; // repeated runs differ by seed
-            cfg.record_pfs = false;
-            let out = run_wacomm(&cfg, &wc);
-            let d = out.report.decomposition();
-            rows.push(DistRow {
-                ranks: n,
-                run: i,
-                strategy: name,
-                pct: d.percentages(),
-                app: out.app_time(),
-            });
+    let points: Vec<(usize, usize, &'static str, Strategy)> = ranks
+        .iter()
+        .flat_map(|&n| {
+            runs.iter()
+                .enumerate()
+                .map(move |(i, &(name, strategy))| (n, i, name, strategy))
+        })
+        .collect();
+    crate::par::par_map(&points, |&(n, i, name, strategy)| {
+        let mut cfg = ExpConfig::new(n, strategy);
+        cfg.seed = 2024 + i as u64; // repeated runs differ by seed
+        cfg.record_pfs = false;
+        let out = run_wacomm(&cfg, &wc);
+        let d = out.report.decomposition();
+        DistRow {
+            ranks: n,
+            run: i,
+            strategy: name,
+            pct: d.percentages(),
+            app: out.app_time(),
         }
-    }
-    rows
+    })
 }
 
 /// Fig. 11: HACC-IO time distribution; runs 0-1 direct, 2-3 up-only,
@@ -143,30 +153,49 @@ pub fn hacc_distribution(ranks: &[usize], particles: u64) -> Vec<DistRow> {
         ("direct", Strategy::Direct { tol: 1.1 }),
         ("up-only", Strategy::UpOnly { tol: 1.1 }),
         ("up-only", Strategy::UpOnly { tol: 1.1 }),
-        ("adaptive", Strategy::Adaptive { tol: 1.1, tol_i: 0.5 }),
-        ("adaptive", Strategy::Adaptive { tol: 1.1, tol_i: 0.5 }),
+        (
+            "adaptive",
+            Strategy::Adaptive {
+                tol: 1.1,
+                tol_i: 0.5,
+            },
+        ),
+        (
+            "adaptive",
+            Strategy::Adaptive {
+                tol: 1.1,
+                tol_i: 0.5,
+            },
+        ),
         ("none", Strategy::None),
         ("none", Strategy::None),
     ];
-    let hacc = HaccConfig { particles_per_rank: particles, ..Default::default() };
-    let mut rows = Vec::new();
-    for &n in ranks {
-        for (i, (name, strategy)) in runs.iter().enumerate() {
-            let mut cfg = ExpConfig::new(n, *strategy);
-            cfg.seed = 2024 + i as u64;
-            cfg.record_pfs = false;
-            let out = run_hacc(&cfg, &hacc);
-            let d = out.report.decomposition();
-            rows.push(DistRow {
-                ranks: n,
-                run: i,
-                strategy: name,
-                pct: d.percentages(),
-                app: out.app_time(),
-            });
+    let hacc = HaccConfig {
+        particles_per_rank: particles,
+        ..Default::default()
+    };
+    let points: Vec<(usize, usize, &'static str, Strategy)> = ranks
+        .iter()
+        .flat_map(|&n| {
+            runs.iter()
+                .enumerate()
+                .map(move |(i, &(name, strategy))| (n, i, name, strategy))
+        })
+        .collect();
+    crate::par::par_map(&points, |&(n, i, name, strategy)| {
+        let mut cfg = ExpConfig::new(n, strategy);
+        cfg.seed = 2024 + i as u64;
+        cfg.record_pfs = false;
+        let out = run_hacc(&cfg, &hacc);
+        let d = out.report.decomposition();
+        DistRow {
+            ranks: n,
+            run: i,
+            strategy: name,
+            pct: d.percentages(),
+            app: out.app_time(),
         }
-    }
-    rows
+    })
 }
 
 /// Figs. 8/9/10: one WaComM run with full series recording.
@@ -190,10 +219,16 @@ pub fn hacc_series(
         // of the PFS, so even limit-paced transfers miss their windows.
         cfg.capacity_noise = Some(mpisim::CapacityNoiseCfg {
             period: 1.5,
-            noise: Noise::Spike { prob: 0.25, factor: 0.004 },
+            noise: Noise::Spike {
+                prob: 0.25,
+                factor: 0.004,
+            },
         });
     }
-    let hacc = HaccConfig { particles_per_rank: particles, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: particles,
+        ..Default::default()
+    };
     run_hacc(&cfg, &hacc)
 }
 

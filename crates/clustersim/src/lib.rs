@@ -49,7 +49,10 @@ impl Default for ClusterConfig {
         ClusterConfig {
             nodes: 500,
             cores_per_node: 96,
-            pfs: PfsConfig { write_capacity: 120e9, read_capacity: 120e9 },
+            pfs: PfsConfig {
+                write_capacity: 120e9,
+                read_capacity: 120e9,
+            },
             scheduler: Scheduler::Fcfs,
         }
     }
@@ -119,9 +122,7 @@ impl JobSpec {
         let io_guess: f64 = profile
             .iter()
             .map(|p| match p {
-                JobPhase::Write(b) | JobPhase::Read(b) => {
-                    b / (120e9 * nodes as f64 / 500.0 / 2.0)
-                }
+                JobPhase::Write(b) | JobPhase::Read(b) => b / (120e9 * nodes as f64 / 500.0 / 2.0),
                 JobPhase::Compute(_) => 0.0,
             })
             .sum();
@@ -560,7 +561,15 @@ pub fn motivation_scenario(limit_job4: bool, tol: f64) -> (ClusterConfig, Vec<Jo
     // its own transfers still fit the 20 s compute window.
     let gb = 1e9;
     let sync_job = |name: &str, nodes: usize, submit: f64, loops: usize| {
-        JobSpec::hacc_like(name, nodes, submit, loops, 4.0, 10.0 * gb * nodes as f64, IoStyle::Sync)
+        JobSpec::hacc_like(
+            name,
+            nodes,
+            submit,
+            loops,
+            4.0,
+            10.0 * gb * nodes as f64,
+            IoStyle::Sync,
+        )
     };
     let mut jobs = vec![
         sync_job("job0", 96, 0.0, 6),
@@ -592,7 +601,11 @@ mod tests {
         let cfg = ClusterConfig::default();
         // 3 × (10 s compute + 100 GB / 120 GB/s ≈ 0.833 s I/O) ≈ 32.5 s.
         let r = Cluster::new(cfg, vec![one_job(IoStyle::Sync)]).run();
-        assert!((r.jobs[0].runtime() - 32.5).abs() < 0.1, "{}", r.jobs[0].runtime());
+        assert!(
+            (r.jobs[0].runtime() - 32.5).abs() < 0.1,
+            "{}",
+            r.jobs[0].runtime()
+        );
     }
 
     #[test]
@@ -601,12 +614,19 @@ mod tests {
         // Bursts hidden behind the following compute; only the last one
         // (nothing left to overlap) adds its ~0.833 s.
         let r = Cluster::new(cfg, vec![one_job(IoStyle::Async)]).run();
-        assert!((r.jobs[0].runtime() - 30.833).abs() < 0.1, "{}", r.jobs[0].runtime());
+        assert!(
+            (r.jobs[0].runtime() - 30.833).abs() < 0.1,
+            "{}",
+            r.jobs[0].runtime()
+        );
     }
 
     #[test]
     fn jobs_queue_when_nodes_exhausted() {
-        let cfg = ClusterConfig { nodes: 10, ..Default::default() };
+        let cfg = ClusterConfig {
+            nodes: 10,
+            ..Default::default()
+        };
         let a = JobSpec::hacc_like("a", 10, 0.0, 1, 5.0, 1e9, IoStyle::Sync);
         let b = JobSpec::hacc_like("b", 10, 0.0, 1, 5.0, 1e9, IoStyle::Sync);
         let r = Cluster::new(cfg, vec![a, b]).run();
@@ -615,7 +635,10 @@ mod tests {
 
     #[test]
     fn fcfs_blocks_later_small_jobs() {
-        let cfg = ClusterConfig { nodes: 10, ..Default::default() };
+        let cfg = ClusterConfig {
+            nodes: 10,
+            ..Default::default()
+        };
         let a = JobSpec::hacc_like("a", 8, 0.0, 1, 5.0, 1e9, IoStyle::Sync);
         let big = JobSpec::hacc_like("big", 10, 1.0, 1, 5.0, 1e9, IoStyle::Sync);
         let small = JobSpec::hacc_like("small", 2, 2.0, 1, 5.0, 1e9, IoStyle::Sync);
@@ -701,7 +724,11 @@ mod backfill_tests {
 
     #[test]
     fn backfill_lets_short_jobs_jump() {
-        let cfg = ClusterConfig { nodes: 10, scheduler: Scheduler::Backfill, ..Default::default() };
+        let cfg = ClusterConfig {
+            nodes: 10,
+            scheduler: Scheduler::Backfill,
+            ..Default::default()
+        };
         // a: holds 8 nodes for ~20 s. big: needs 10 (blocked). small: 2
         // nodes, short — fits beside a and ends before big's reservation.
         let a = JobSpec::hacc_like("a", 8, 0.0, 1, 20.0, 1e9, IoStyle::Sync);
@@ -720,7 +747,11 @@ mod backfill_tests {
 
     #[test]
     fn backfill_rejects_jobs_that_would_delay_the_head() {
-        let cfg = ClusterConfig { nodes: 10, scheduler: Scheduler::Backfill, ..Default::default() };
+        let cfg = ClusterConfig {
+            nodes: 10,
+            scheduler: Scheduler::Backfill,
+            ..Default::default()
+        };
         let a = JobSpec::hacc_like("a", 8, 0.0, 1, 10.0, 1e9, IoStyle::Sync);
         let big = JobSpec::hacc_like("big", 10, 1.0, 1, 5.0, 1e9, IoStyle::Sync);
         // long: fits beside a but its walltime extends past big's
@@ -745,8 +776,14 @@ mod backfill_tests {
                 JobSpec::hacc_like("s2", 2, 2.5, 1, 2.0, 1e9, IoStyle::Sync),
             ]
         };
-        let fcfs_cfg = ClusterConfig { nodes: 10, ..Default::default() };
-        let bf_cfg = ClusterConfig { scheduler: Scheduler::Backfill, ..fcfs_cfg };
+        let fcfs_cfg = ClusterConfig {
+            nodes: 10,
+            ..Default::default()
+        };
+        let bf_cfg = ClusterConfig {
+            scheduler: Scheduler::Backfill,
+            ..fcfs_cfg
+        };
         let fcfs = Cluster::new(fcfs_cfg, jobs()).run();
         let bf = Cluster::new(bf_cfg, jobs()).run();
         assert!(bf.makespan <= fcfs.makespan + 1e-9);

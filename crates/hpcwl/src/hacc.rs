@@ -90,16 +90,35 @@ impl HaccConfig {
             let wtag = ReqTag(2 * k);
             let rtag = ReqTag(2 * k + 1);
             // Header stays synchronous.
-            ops.push(Op::Write { file, bytes: self.header_bytes });
+            ops.push(Op::Write {
+                file,
+                bytes: self.header_bytes,
+            });
             // Write block overlaps the compute block.
-            ops.push(Op::IWrite { file, bytes: data, tag: wtag });
-            ops.push(Op::Bcast { bytes: self.bcast_bytes });
-            ops.push(Op::Compute { seconds: self.compute_seconds() });
+            ops.push(Op::IWrite {
+                file,
+                bytes: data,
+                tag: wtag,
+            });
+            ops.push(Op::Bcast {
+                bytes: self.bcast_bytes,
+            });
+            ops.push(Op::Compute {
+                seconds: self.compute_seconds(),
+            });
             ops.push(Op::Wait { tag: wtag });
             // Read block overlaps the verify block.
-            ops.push(Op::IRead { file, bytes: data, tag: rtag });
-            ops.push(Op::Bcast { bytes: self.bcast_bytes });
-            ops.push(Op::Compute { seconds: self.verify_seconds() });
+            ops.push(Op::IRead {
+                file,
+                bytes: data,
+                tag: rtag,
+            });
+            ops.push(Op::Bcast {
+                bytes: self.bcast_bytes,
+            });
+            ops.push(Op::Compute {
+                seconds: self.verify_seconds(),
+            });
             ops.push(Op::Memcpy { bytes: data });
             ops.push(Op::Wait { tag: rtag });
         }
@@ -112,13 +131,24 @@ impl HaccConfig {
         let mut ops = Vec::with_capacity(self.loops * 7);
         let data = self.data_bytes();
         for _ in 0..self.loops {
-            ops.push(Op::Write { file, bytes: self.header_bytes });
-            ops.push(Op::Bcast { bytes: self.bcast_bytes });
-            ops.push(Op::Compute { seconds: self.compute_seconds() });
+            ops.push(Op::Write {
+                file,
+                bytes: self.header_bytes,
+            });
+            ops.push(Op::Bcast {
+                bytes: self.bcast_bytes,
+            });
+            ops.push(Op::Compute {
+                seconds: self.compute_seconds(),
+            });
             ops.push(Op::Write { file, bytes: data });
             ops.push(Op::Read { file, bytes: data });
-            ops.push(Op::Bcast { bytes: self.bcast_bytes });
-            ops.push(Op::Compute { seconds: self.verify_seconds() });
+            ops.push(Op::Bcast {
+                bytes: self.bcast_bytes,
+            });
+            ops.push(Op::Compute {
+                seconds: self.verify_seconds(),
+            });
             ops.push(Op::Memcpy { bytes: data });
         }
         Program::from_ops(ops)
@@ -262,7 +292,10 @@ mod tests {
 
     #[test]
     fn program_structure_matches_fig12() {
-        let cfg = HaccConfig { loops: 2, ..Default::default() };
+        let cfg = HaccConfig {
+            loops: 2,
+            ..Default::default()
+        };
         let p = cfg.program(FileId(0));
         assert!(p.validate().is_ok());
         assert_eq!(p.len(), 2 * 10);

@@ -64,37 +64,69 @@ impl IorConfig {
             match self.issue {
                 IssueMode::Sync => {
                     match self.mode {
-                        AccessMode::WriteOnly => ops.push(Op::Write { file, bytes: self.block_bytes }),
-                        AccessMode::ReadOnly => ops.push(Op::Read { file, bytes: self.block_bytes }),
+                        AccessMode::WriteOnly => ops.push(Op::Write {
+                            file,
+                            bytes: self.block_bytes,
+                        }),
+                        AccessMode::ReadOnly => ops.push(Op::Read {
+                            file,
+                            bytes: self.block_bytes,
+                        }),
                         AccessMode::ReadWrite => {
-                            ops.push(Op::Write { file, bytes: self.block_bytes });
-                            ops.push(Op::Read { file, bytes: self.block_bytes });
+                            ops.push(Op::Write {
+                                file,
+                                bytes: self.block_bytes,
+                            });
+                            ops.push(Op::Read {
+                                file,
+                                bytes: self.block_bytes,
+                            });
                         }
                     }
-                    ops.push(Op::Compute { seconds: self.compute_seconds });
+                    ops.push(Op::Compute {
+                        seconds: self.compute_seconds,
+                    });
                 }
                 IssueMode::Async => {
                     let mut tags = Vec::new();
                     match self.mode {
                         AccessMode::WriteOnly => {
-                            ops.push(Op::IWrite { file, bytes: self.block_bytes, tag: ReqTag(tag) });
+                            ops.push(Op::IWrite {
+                                file,
+                                bytes: self.block_bytes,
+                                tag: ReqTag(tag),
+                            });
                             tags.push(tag);
                             tag += 1;
                         }
                         AccessMode::ReadOnly => {
-                            ops.push(Op::IRead { file, bytes: self.block_bytes, tag: ReqTag(tag) });
+                            ops.push(Op::IRead {
+                                file,
+                                bytes: self.block_bytes,
+                                tag: ReqTag(tag),
+                            });
                             tags.push(tag);
                             tag += 1;
                         }
                         AccessMode::ReadWrite => {
-                            ops.push(Op::IWrite { file, bytes: self.block_bytes, tag: ReqTag(tag) });
-                            ops.push(Op::IRead { file, bytes: self.block_bytes, tag: ReqTag(tag + 1) });
+                            ops.push(Op::IWrite {
+                                file,
+                                bytes: self.block_bytes,
+                                tag: ReqTag(tag),
+                            });
+                            ops.push(Op::IRead {
+                                file,
+                                bytes: self.block_bytes,
+                                tag: ReqTag(tag + 1),
+                            });
                             tags.push(tag);
                             tags.push(tag + 1);
                             tag += 2;
                         }
                     }
-                    ops.push(Op::Compute { seconds: self.compute_seconds });
+                    ops.push(Op::Compute {
+                        seconds: self.compute_seconds,
+                    });
                     for t in tags {
                         ops.push(Op::Wait { tag: ReqTag(t) });
                     }
@@ -120,29 +152,50 @@ mod tests {
 
     #[test]
     fn async_programs_validate() {
-        for mode in [AccessMode::WriteOnly, AccessMode::ReadOnly, AccessMode::ReadWrite] {
-            let cfg = IorConfig { mode, issue: IssueMode::Async, ..Default::default() };
+        for mode in [
+            AccessMode::WriteOnly,
+            AccessMode::ReadOnly,
+            AccessMode::ReadWrite,
+        ] {
+            let cfg = IorConfig {
+                mode,
+                issue: IssueMode::Async,
+                ..Default::default()
+            };
             assert!(cfg.program(FileId(0)).validate().is_ok(), "{mode:?}");
         }
     }
 
     #[test]
     fn sync_programs_have_no_waits() {
-        let cfg = IorConfig { issue: IssueMode::Sync, ..Default::default() };
+        let cfg = IorConfig {
+            issue: IssueMode::Sync,
+            ..Default::default()
+        };
         let p = cfg.program(FileId(0));
         assert!(!p.ops().iter().any(|o| matches!(o, Op::Wait { .. })));
     }
 
     #[test]
     fn readwrite_doubles_bytes() {
-        let w = IorConfig { mode: AccessMode::WriteOnly, ..Default::default() };
-        let rw = IorConfig { mode: AccessMode::ReadWrite, ..Default::default() };
+        let w = IorConfig {
+            mode: AccessMode::WriteOnly,
+            ..Default::default()
+        };
+        let rw = IorConfig {
+            mode: AccessMode::ReadWrite,
+            ..Default::default()
+        };
         assert_eq!(rw.total_bytes(), 2.0 * w.total_bytes());
     }
 
     #[test]
     fn segment_count_respected() {
-        let cfg = IorConfig { segments: 7, issue: IssueMode::Async, ..Default::default() };
+        let cfg = IorConfig {
+            segments: 7,
+            issue: IssueMode::Async,
+            ..Default::default()
+        };
         let p = cfg.program(FileId(0));
         let submits = p
             .ops()

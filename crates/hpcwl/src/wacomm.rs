@@ -89,10 +89,15 @@ impl WacommConfig {
         assert!(self.iterations >= 2, "need at least two iterations");
         let mut ops = Vec::with_capacity(self.iterations * 3 + 5);
         if rank == 0 {
-            ops.push(Op::Read { file: input, bytes: self.input_bytes });
+            ops.push(Op::Read {
+                file: input,
+                bytes: self.input_bytes,
+            });
         }
         // Particle distribution from rank 0.
-        ops.push(Op::Bcast { bytes: self.bcast_bytes });
+        ops.push(Op::Bcast {
+            bytes: self.bcast_bytes,
+        });
         let bytes = self.write_bytes(rank, n_ranks);
         let compute = self.compute_seconds(rank, n_ranks);
         let last = self.iterations as u32 - 1;
@@ -102,11 +107,18 @@ impl WacommConfig {
                 ops.push(Op::Wait { tag: ReqTag(k - 1) });
             }
             if k < last {
-                ops.push(Op::IWrite { file: out, bytes, tag: ReqTag(k) });
+                ops.push(Op::IWrite {
+                    file: out,
+                    bytes,
+                    tag: ReqTag(k),
+                });
             } else {
                 // The paper keeps the last write synchronous: there is no
                 // compute phase left to overlap it with.
-                ops.push(Op::Write { file: out, bytes: bytes + self.final_bytes_per_rank });
+                ops.push(Op::Write {
+                    file: out,
+                    bytes: bytes + self.final_bytes_per_rank,
+                });
             }
         }
         Program::from_ops(ops)
@@ -117,17 +129,25 @@ impl WacommConfig {
     pub fn program_sync(&self, rank: usize, n_ranks: usize, input: FileId, out: FileId) -> Program {
         let mut ops = Vec::with_capacity(self.iterations + 5);
         if rank == 0 {
-            ops.push(Op::Read { file: input, bytes: self.input_bytes });
+            ops.push(Op::Read {
+                file: input,
+                bytes: self.input_bytes,
+            });
         }
-        ops.push(Op::Bcast { bytes: self.bcast_bytes });
+        ops.push(Op::Bcast {
+            bytes: self.bcast_bytes,
+        });
         let compute = self.compute_seconds(rank, n_ranks);
         for _ in 0..self.iterations {
             ops.push(Op::Compute { seconds: compute });
         }
-        let total = self.write_bytes(rank, n_ranks) * self.iterations as f64
-            + self.final_bytes_per_rank;
+        let total =
+            self.write_bytes(rank, n_ranks) * self.iterations as f64 + self.final_bytes_per_rank;
         if rank == 0 {
-            ops.push(Op::Write { file: out, bytes: total * n_ranks as f64 });
+            ops.push(Op::Write {
+                file: out,
+                bytes: total * n_ranks as f64,
+            });
         }
         ops.push(Op::Barrier);
         Program::from_ops(ops)
@@ -225,7 +245,10 @@ mod tests {
 
     #[test]
     fn particle_distribution_covers_all() {
-        let cfg = WacommConfig { total_particles: 10, ..Default::default() };
+        let cfg = WacommConfig {
+            total_particles: 10,
+            ..Default::default()
+        };
         let total: u64 = (0..3).map(|r| cfg.particles_of(r, 3)).sum();
         assert_eq!(total, 10);
         assert_eq!(cfg.particles_of(0, 3), 4); // remainder goes to low ranks
@@ -234,7 +257,10 @@ mod tests {
 
     #[test]
     fn program_validates_and_overlaps() {
-        let cfg = WacommConfig { iterations: 5, ..Default::default() };
+        let cfg = WacommConfig {
+            iterations: 5,
+            ..Default::default()
+        };
         for rank in 0..4 {
             let p = cfg.program(rank, 4, FileId(0), FileId(1));
             assert!(p.validate().is_ok(), "rank {rank}");
@@ -250,7 +276,10 @@ mod tests {
 
     #[test]
     fn sync_variant_funnels_through_rank0() {
-        let cfg = WacommConfig { iterations: 5, ..Default::default() };
+        let cfg = WacommConfig {
+            iterations: 5,
+            ..Default::default()
+        };
         let p0 = cfg.program_sync(0, 4, FileId(0), FileId(1));
         let p1 = cfg.program_sync(1, 4, FileId(0), FileId(1));
         assert!(p0.ops().iter().any(|o| matches!(o, Op::Write { .. })));
@@ -300,6 +329,9 @@ mod tests {
     #[test]
     fn serialized_size_matches_constant() {
         let ps = kernel::seed(7, (0.0, 0.0, 0.0));
-        assert_eq!(kernel::serialize(&ps).len() as f64, 7.0 * BYTES_PER_PARTICLE);
+        assert_eq!(
+            kernel::serialize(&ps).len() as f64,
+            7.0 * BYTES_PER_PARTICLE
+        );
     }
 }

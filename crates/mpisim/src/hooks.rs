@@ -28,7 +28,10 @@ pub struct Limits {
 impl Limits {
     /// Creates limit storage for `n_ranks`, all unlimited.
     pub fn new(n_ranks: usize, enabled: bool) -> Self {
-        Limits { enabled, per_rank: vec![None; n_ranks] }
+        Limits {
+            enabled,
+            per_rank: vec![None; n_ranks],
+        }
     }
 
     /// Sets rank `rank`'s limit in bytes/s (`None` removes it).
@@ -102,13 +105,7 @@ pub trait IoHooks {
 
     /// Rank left `MPI_Wait` for `tag`. This is where TMIO computes the
     /// required bandwidth of the closed window and updates the rank's limit.
-    fn on_wait_exit(
-        &mut self,
-        t: SimTime,
-        rank: usize,
-        tag: ReqTag,
-        limits: &mut Limits,
-    ) -> f64 {
+    fn on_wait_exit(&mut self, t: SimTime, rank: usize, tag: ReqTag, limits: &mut Limits) -> f64 {
         0.0
     }
 
@@ -138,7 +135,14 @@ pub trait IoHooks {
 
     /// Rank probed a request with `MPI_Test` (`done` = completion status).
     /// Unsuccessful probes inside an `Op::PollWait` loop also land here.
-    fn on_test(&mut self, t: SimTime, rank: usize, tag: ReqTag, done: bool, limits: &mut Limits) -> f64 {
+    fn on_test(
+        &mut self,
+        t: SimTime,
+        rank: usize,
+        tag: ReqTag,
+        done: bool,
+        limits: &mut Limits,
+    ) -> f64 {
         0.0
     }
 
@@ -186,14 +190,7 @@ mod tests {
     fn no_hooks_has_zero_overhead() {
         let mut h = NoHooks;
         let mut l = Limits::new(1, true);
-        let z = h.on_async_submit(
-            SimTime::ZERO,
-            0,
-            ReqTag(0),
-            1.0,
-            Channel::Write,
-            &mut l,
-        );
+        let z = h.on_async_submit(SimTime::ZERO, 0, ReqTag(0), 1.0, Channel::Write, &mut l);
         assert_eq!(z, 0.0);
     }
 }

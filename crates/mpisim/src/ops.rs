@@ -195,10 +195,18 @@ mod tests {
     #[test]
     fn validate_accepts_matched_pairs() {
         let p = Program::from_ops(vec![
-            Op::IWrite { file: FileId(0), bytes: 10.0, tag: ReqTag(1) },
+            Op::IWrite {
+                file: FileId(0),
+                bytes: 10.0,
+                tag: ReqTag(1),
+            },
             Op::Compute { seconds: 1.0 },
             Op::Wait { tag: ReqTag(1) },
-            Op::IWrite { file: FileId(0), bytes: 10.0, tag: ReqTag(1) },
+            Op::IWrite {
+                file: FileId(0),
+                bytes: 10.0,
+                tag: ReqTag(1),
+            },
             Op::Wait { tag: ReqTag(1) },
         ]);
         assert!(p.validate().is_ok());
@@ -207,8 +215,16 @@ mod tests {
     #[test]
     fn validate_rejects_tag_reuse() {
         let p = Program::from_ops(vec![
-            Op::IWrite { file: FileId(0), bytes: 10.0, tag: ReqTag(1) },
-            Op::IWrite { file: FileId(0), bytes: 10.0, tag: ReqTag(1) },
+            Op::IWrite {
+                file: FileId(0),
+                bytes: 10.0,
+                tag: ReqTag(1),
+            },
+            Op::IWrite {
+                file: FileId(0),
+                bytes: 10.0,
+                tag: ReqTag(1),
+            },
         ]);
         assert!(p.validate().unwrap_err().contains("reused"));
     }
@@ -232,8 +248,16 @@ mod tests {
     #[test]
     fn multiple_outstanding_tags_allowed() {
         let p = Program::from_ops(vec![
-            Op::IWrite { file: FileId(0), bytes: 10.0, tag: ReqTag(1) },
-            Op::IRead { file: FileId(0), bytes: 10.0, tag: ReqTag(2) },
+            Op::IWrite {
+                file: FileId(0),
+                bytes: 10.0,
+                tag: ReqTag(1),
+            },
+            Op::IRead {
+                file: FileId(0),
+                bytes: 10.0,
+                tag: ReqTag(2),
+            },
             Op::Wait { tag: ReqTag(2) },
             Op::Wait { tag: ReqTag(1) },
         ]);

@@ -145,13 +145,17 @@ impl RankCtx {
     /// Probes a request (`MPI_Test`): returns true once the I/O thread has
     /// finished. The request stays live — complete it with [`RankCtx::wait`].
     pub fn test(&mut self, req: &Request) -> bool {
-        self.call(Op::Test { tag: req.tag }).expect("test returns a status")
+        self.call(Op::Test { tag: req.tag })
+            .expect("test returns a status")
     }
 
     /// The test-in-a-loop completion pattern: polls every `interval`
     /// seconds of burned compute until the request finishes, then frees it.
     pub fn poll_wait(&mut self, req: Request, interval: f64) {
-        let _ = self.call(Op::PollWait { tag: req.tag, interval });
+        let _ = self.call(Op::PollWait {
+            tag: req.tag,
+            interval,
+        });
     }
 }
 
@@ -195,7 +199,11 @@ pub struct Threaded<H: IoHooks> {
 impl<H: IoHooks + Send + 'static> Threaded<H> {
     /// Creates a runner with the given configuration and observer.
     pub fn new(cfg: WorldConfig, hooks: H) -> Self {
-        Threaded { cfg, hooks, files: Vec::new() }
+        Threaded {
+            cfg,
+            hooks,
+            files: Vec::new(),
+        }
     }
 
     /// Registers a simulated file before the run.

@@ -347,9 +347,12 @@ impl<H: IoHooks> World<H> {
         };
         let ranks = (0..cfg.n_ranks).map(|_| RankState::new()).collect();
         let live_ranks = cfg.n_ranks;
+        // Pending events peak around one per rank (compute wake or I/O step)
+        // plus the PFS wake; pre-size to skip heap regrowth.
+        let queue = EventQueue::with_capacity(cfg.n_ranks * 2 + 8);
         World {
             cfg,
-            queue: EventQueue::new(),
+            queue,
             pfs,
             pfs_wake: None,
             ranks,
@@ -373,11 +376,7 @@ impl<H: IoHooks> World<H> {
 
     /// Builds a world over scripted per-rank programs.
     pub fn new(cfg: WorldConfig, programs: Vec<Program>, hooks: H) -> Self {
-        assert_eq!(
-            programs.len(),
-            cfg.n_ranks,
-            "one program per rank required"
-        );
+        assert_eq!(programs.len(), cfg.n_ranks, "one program per rank required");
         Self::with_driver(cfg, Box::new(ScriptedDriver::new(programs)), hooks)
     }
 
@@ -515,12 +514,11 @@ impl<H: IoHooks> World<H> {
                                     Channel::Write => {
                                         self.ranks[rank].acct.sync_write += t - entered
                                     }
-                                    Channel::Read => {
-                                        self.ranks[rank].acct.sync_read += t - entered
-                                    }
+                                    Channel::Read => self.ranks[rank].acct.sync_read += t - entered,
                                 }
                                 let mut hooks = self.hooks.take().expect("hooks");
-                                let o = hooks.on_sync_end(t, rank, bytes, channel, &mut self.limits);
+                                let o =
+                                    hooks.on_sync_end(t, rank, bytes, channel, &mut self.limits);
                                 self.hooks = Some(hooks);
                                 self.ranks[rank].acct.overhead += o;
                             }
@@ -562,7 +560,10 @@ impl<H: IoHooks> World<H> {
             }
             iters += 1;
             if iters > 10_000 {
-                panic!("drain_pfs livelock at {now:?}: {} completions pending", done.len());
+                panic!(
+                    "drain_pfs livelock at {now:?}: {} completions pending",
+                    done.len()
+                );
             }
             for (ct, flow) in done {
                 self.on_flow_complete(ct, flow);
@@ -612,8 +613,7 @@ impl<H: IoHooks> World<H> {
             Op::Compute { seconds } => {
                 let idx = self.ranks[rank].compute_count;
                 self.ranks[rank].compute_count += 1;
-                let mut rng =
-                    stream_rng(self.cfg.seed, rank_phase_stream(rank, idx as usize));
+                let mut rng = stream_rng(self.cfg.seed, rank_phase_stream(rank, idx as usize));
                 let mut dur = self.cfg.compute_noise.apply(seconds, &mut rng);
                 // Interference toll from I/O-thread activity ([33]).
                 dur += std::mem::take(&mut self.ranks[rank].pending_toll);
@@ -627,12 +627,8 @@ impl<H: IoHooks> World<H> {
             }
             Op::Barrier => self.enter_collective(rank, CollKind::Barrier),
             Op::Bcast { bytes } => self.enter_collective(rank, CollKind::Bcast(bytes)),
-            Op::WriteAll { file, bytes } => {
-                self.exec_coll_io(rank, file, bytes, Channel::Write)
-            }
-            Op::ReadAll { file, bytes } => {
-                self.exec_coll_io(rank, file, bytes, Channel::Read)
-            }
+            Op::WriteAll { file, bytes } => self.exec_coll_io(rank, file, bytes, Channel::Write),
+            Op::ReadAll { file, bytes } => self.exec_coll_io(rank, file, bytes, Channel::Read),
             Op::Write { file, bytes } => self.exec_sync_io(rank, file, bytes, Channel::Write),
             Op::Read { file, bytes } => self.exec_sync_io(rank, file, bytes, Channel::Read),
             Op::IWrite { file, bytes, tag } => {
@@ -675,8 +671,7 @@ impl<H: IoHooks> World<H> {
     fn exec_poll_wait(&mut self, rank: usize, tag: ReqTag, interval: f64) -> bool {
         assert!(interval > 0.0, "poll interval must be positive");
         let now = self.queue.now();
-        let state = *self
-            .ranks[rank]
+        let state = *self.ranks[rank]
             .requests
             .get(&tag)
             .unwrap_or_else(|| panic!("rank {rank}: poll-wait on unknown request {tag:?}"));
@@ -796,7 +791,12 @@ impl<H: IoHooks> World<H> {
         let flows = self.pfs.submit_many(
             now,
             channel,
-            FlowSpec { bytes: per_agg, weight: 1.0, cap: None, meter: None },
+            FlowSpec {
+                bytes: per_agg,
+                weight: 1.0,
+                cap: None,
+                meter: None,
+            },
             aggregators,
         );
         for f in &flows {
@@ -847,7 +847,12 @@ impl<H: IoHooks> World<H> {
         let flow = self.pfs.submit(
             now,
             Channel::Write,
-            FlowSpec { bytes, weight: 1.0, cap: Some(cap), meter: None },
+            FlowSpec {
+                bytes,
+                weight: 1.0,
+                cap: Some(cap),
+                meter: None,
+            },
         );
         self.background_flows.insert(flow);
     }
@@ -887,8 +892,7 @@ impl<H: IoHooks> World<H> {
 
     fn exec_wait(&mut self, rank: usize, tag: ReqTag) -> bool {
         let now = self.queue.now();
-        let state = *self
-            .ranks[rank]
+        let state = *self.ranks[rank]
             .requests
             .get(&tag)
             .unwrap_or_else(|| panic!("rank {rank}: wait on unknown request {tag:?}"));
@@ -914,7 +918,13 @@ impl<H: IoHooks> World<H> {
     // ------------------------------------------------------------------
     // I/O thread (ADIO layer)
 
-    fn new_task(&mut self, rank: usize, tag: Option<ReqTag>, bytes: f64, channel: Channel) -> TaskId {
+    fn new_task(
+        &mut self,
+        rank: usize,
+        tag: Option<ReqTag>,
+        bytes: f64,
+        channel: Channel,
+    ) -> TaskId {
         let id = TaskId(self.next_task);
         self.next_task += 1;
         let now = self.queue.now();
@@ -977,7 +987,10 @@ impl<H: IoHooks> World<H> {
             return;
         }
         let _ = ct;
-        let id = self.flow_task.remove(&flow).expect("flow belongs to a task");
+        let id = self
+            .flow_task
+            .remove(&flow)
+            .expect("flow belongs to a task");
         let (rank, finished, subreq_bytes, subreq_started) = {
             let task = self.tasks.get_mut(&id).expect("task exists");
             task.bytes_left -= task.subreq_bytes;
@@ -999,8 +1012,7 @@ impl<H: IoHooks> World<H> {
                 Channel::Write => self.cfg.pfs.write_capacity,
                 Channel::Read => self.cfg.pfs.read_capacity,
             };
-            let concurrency =
-                (self.pfs.active_flows(channel) + 1) as f64 / self.cfg.n_ranks as f64;
+            let concurrency = (self.pfs.active_flows(channel) + 1) as f64 / self.cfg.n_ranks as f64;
             self.ranks[rank].pending_toll += self.cfg.interference_alpha
                 * concurrency.min(1.0)
                 * (subreq_bytes / capacity.max(1.0));
@@ -1088,8 +1100,7 @@ impl<H: IoHooks> World<H> {
                     Channel::Read => self.ranks[rank].acct.sync_read += dur,
                 }
                 let mut hooks = self.hooks.take().expect("hooks");
-                let o =
-                    hooks.on_sync_end(release_at, rank, bytes, task.channel, &mut self.limits);
+                let o = hooks.on_sync_end(release_at, rank, bytes, task.channel, &mut self.limits);
                 self.hooks = Some(hooks);
                 self.ranks[rank].acct.overhead += o;
                 self.ranks[rank].status = Status::Blocked(BlockKind::Overhead);

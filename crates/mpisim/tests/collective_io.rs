@@ -7,7 +7,10 @@ const MB: f64 = 1e6;
 
 fn cfg(n: usize, cap: f64) -> WorldConfig {
     let mut c = WorldConfig::new(n);
-    c.pfs = PfsConfig { write_capacity: cap, read_capacity: cap };
+    c.pfs = PfsConfig {
+        write_capacity: cap,
+        read_capacity: cap,
+    };
     c
 }
 
@@ -15,8 +18,15 @@ fn cfg(n: usize, cap: f64) -> WorldConfig {
 fn collective_write_synchronizes_and_completes() {
     // 16 ranks × 10 MB = 160 MB over 100 MB/s -> 1.6 s of transfer through
     // 4 aggregators, plus the shuffle.
-    let ops = vec![Op::WriteAll { file: FileId(0), bytes: 10.0 * MB }];
-    let mut w = World::new(cfg(16, 100.0 * MB), vec![Program::from_ops(ops); 16], NoHooks);
+    let ops = vec![Op::WriteAll {
+        file: FileId(0),
+        bytes: 10.0 * MB,
+    }];
+    let mut w = World::new(
+        cfg(16, 100.0 * MB),
+        vec![Program::from_ops(ops); 16],
+        NoHooks,
+    );
     w.create_file("f");
     let s = w.run();
     let shuffle = 160.0 * MB / 12.5e9; // per-rank bytes × n / net bw
@@ -39,14 +49,24 @@ fn collective_uses_few_large_flows() {
     // independent flow competes — here we just assert the byte accounting
     // and that reads work symmetrically.
     let ops = vec![
-        Op::WriteAll { file: FileId(0), bytes: 1.0 * MB },
-        Op::ReadAll { file: FileId(0), bytes: 1.0 * MB },
+        Op::WriteAll {
+            file: FileId(0),
+            bytes: 1.0 * MB,
+        },
+        Op::ReadAll {
+            file: FileId(0),
+            bytes: 1.0 * MB,
+        },
     ];
     let mut w = World::new(cfg(9, 100.0 * MB), vec![Program::from_ops(ops); 9], NoHooks);
     w.create_file("f");
     let s = w.run();
     // write: 9 MB/100 MB/s = 0.09 s (+shuffle), read likewise.
-    assert!(s.makespan() > 0.18 && s.makespan() < 0.21, "makespan {}", s.makespan());
+    assert!(
+        s.makespan() > 0.18 && s.makespan() < 0.21,
+        "makespan {}",
+        s.makespan()
+    );
     for a in &s.accounting {
         assert!(a.sync_read > 0.08);
     }
@@ -55,15 +75,25 @@ fn collective_uses_few_large_flows() {
 #[test]
 fn collective_slower_ranks_gate_the_io() {
     // Rank 1 computes 1 s before the collective: nobody's I/O starts early.
-    let fast = Program::from_ops(vec![Op::WriteAll { file: FileId(0), bytes: 10.0 * MB }]);
+    let fast = Program::from_ops(vec![Op::WriteAll {
+        file: FileId(0),
+        bytes: 10.0 * MB,
+    }]);
     let slow = Program::from_ops(vec![
         Op::Compute { seconds: 1.0 },
-        Op::WriteAll { file: FileId(0), bytes: 10.0 * MB },
+        Op::WriteAll {
+            file: FileId(0),
+            bytes: 10.0 * MB,
+        },
     ]);
     let mut w = World::new(cfg(2, 100.0 * MB), vec![fast, slow], NoHooks);
     w.create_file("f");
     let s = w.run();
-    assert!(s.makespan() > 1.2, "I/O gated on the slow rank: {}", s.makespan());
+    assert!(
+        s.makespan() > 1.2,
+        "I/O gated on the slow rank: {}",
+        s.makespan()
+    );
 }
 
 #[test]
@@ -75,8 +105,14 @@ fn collective_vs_individual_contention() {
     // (The real win of collective I/O — locking, small-block elimination —
     // is below this model; this test pins the modeled semantics.)
     let n = 64;
-    let indiv = Program::from_ops(vec![Op::Write { file: FileId(0), bytes: 2.0 * MB }]);
-    let coll = Program::from_ops(vec![Op::WriteAll { file: FileId(0), bytes: 2.0 * MB }]);
+    let indiv = Program::from_ops(vec![Op::Write {
+        file: FileId(0),
+        bytes: 2.0 * MB,
+    }]);
+    let coll = Program::from_ops(vec![Op::WriteAll {
+        file: FileId(0),
+        bytes: 2.0 * MB,
+    }]);
     let run = |p: Program| {
         let mut w = World::new(cfg(n, 100.0 * MB), vec![p; 64], NoHooks);
         w.create_file("f");
@@ -85,14 +121,23 @@ fn collective_vs_individual_contention() {
     let t_indiv = run(indiv);
     let t_coll = run(coll);
     assert!((t_indiv - 1.28).abs() < 0.01, "individual {t_indiv}");
-    assert!(t_coll > t_indiv && t_coll < t_indiv + 0.05, "collective {t_coll}");
+    assert!(
+        t_coll > t_indiv && t_coll < t_indiv + 0.05,
+        "collective {t_coll}"
+    );
 }
 
 #[test]
 #[should_panic(expected = "collective mismatch")]
 fn mixed_collective_io_kinds_panic() {
-    let a = Program::from_ops(vec![Op::WriteAll { file: FileId(0), bytes: 1.0 } ]);
-    let b = Program::from_ops(vec![Op::ReadAll { file: FileId(0), bytes: 1.0 } ]);
+    let a = Program::from_ops(vec![Op::WriteAll {
+        file: FileId(0),
+        bytes: 1.0,
+    }]);
+    let b = Program::from_ops(vec![Op::ReadAll {
+        file: FileId(0),
+        bytes: 1.0,
+    }]);
     let mut w = World::new(cfg(2, 1e9), vec![a, b], NoHooks);
     w.create_file("f");
     w.run();

@@ -45,12 +45,23 @@ fn program(w: &Workload, asynchronous: bool) -> Program {
     let mut ops = Vec::new();
     for k in 0..w.segments as u32 {
         if asynchronous {
-            ops.push(Op::IWrite { file: FileId(0), bytes: w.block_mb * 1e6, tag: ReqTag(k) });
-            ops.push(Op::Compute { seconds: w.compute_s });
+            ops.push(Op::IWrite {
+                file: FileId(0),
+                bytes: w.block_mb * 1e6,
+                tag: ReqTag(k),
+            });
+            ops.push(Op::Compute {
+                seconds: w.compute_s,
+            });
             ops.push(Op::Wait { tag: ReqTag(k) });
         } else {
-            ops.push(Op::Compute { seconds: w.compute_s });
-            ops.push(Op::Write { file: FileId(0), bytes: w.block_mb * 1e6 });
+            ops.push(Op::Compute {
+                seconds: w.compute_s,
+            });
+            ops.push(Op::Write {
+                file: FileId(0),
+                bytes: w.block_mb * 1e6,
+            });
         }
         if w.with_barrier {
             ops.push(Op::Barrier);
@@ -181,7 +192,9 @@ mod tmio_shim {
     }
 
     pub fn tracer(_ranks: usize) -> MiniTracer {
-        MiniTracer { submit: HashMap::new() }
+        MiniTracer {
+            submit: HashMap::new(),
+        }
     }
 
     impl IoHooks for MiniTracer {

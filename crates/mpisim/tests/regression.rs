@@ -10,14 +10,25 @@ use mpisim::{NoHooks, Op, Program, World, WorldConfig};
 fn merged_sync_writes_terminate() {
     let ops = vec![
         Op::Compute { seconds: 0.5 },
-        Op::Write { file: mpisim::FileId(0), bytes: 1e9 },
+        Op::Write {
+            file: mpisim::FileId(0),
+            bytes: 1e9,
+        },
         Op::Barrier,
     ];
-    let mut w = World::new(WorldConfig::new(2), vec![Program::from_ops(ops); 2], NoHooks);
+    let mut w = World::new(
+        WorldConfig::new(2),
+        vec![Program::from_ops(ops); 2],
+        NoHooks,
+    );
     w.create_file("x");
     let s = w.run();
     // 2 GB over the 106 GB/s write channel ≈ 18.9 ms after the 0.5 s compute.
-    assert!(s.makespan() > 0.5 && s.makespan() < 0.53, "makespan {}", s.makespan());
+    assert!(
+        s.makespan() > 0.5 && s.makespan() < 0.53,
+        "makespan {}",
+        s.makespan()
+    );
 }
 
 /// Same shape at a large absolute time offset, where the clock ulp is coarser.
@@ -25,10 +36,17 @@ fn merged_sync_writes_terminate() {
 fn merged_writes_terminate_at_large_times() {
     let ops = vec![
         Op::Compute { seconds: 50_000.0 },
-        Op::Write { file: mpisim::FileId(0), bytes: 1e9 },
+        Op::Write {
+            file: mpisim::FileId(0),
+            bytes: 1e9,
+        },
         Op::Barrier,
     ];
-    let mut w = World::new(WorldConfig::new(2), vec![Program::from_ops(ops); 2], NoHooks);
+    let mut w = World::new(
+        WorldConfig::new(2),
+        vec![Program::from_ops(ops); 2],
+        NoHooks,
+    );
     w.create_file("x");
     let s = w.run();
     assert!(s.makespan() >= 50_000.0 && s.makespan() < 50_001.0);

@@ -7,7 +7,10 @@ const MB: f64 = 1e6;
 
 fn cfg(n: usize, cap: f64) -> WorldConfig {
     let mut c = WorldConfig::new(n);
-    c.pfs = PfsConfig { write_capacity: cap, read_capacity: cap };
+    c.pfs = PfsConfig {
+        write_capacity: cap,
+        read_capacity: cap,
+    };
     c
 }
 
@@ -15,7 +18,11 @@ fn cfg(n: usize, cap: f64) -> WorldConfig {
 fn test_probe_keeps_request_live() {
     // Test before and after completion; the request still needs its wait.
     let ops = vec![
-        Op::IWrite { file: FileId(0), bytes: 10.0 * MB, tag: ReqTag(0) },
+        Op::IWrite {
+            file: FileId(0),
+            bytes: 10.0 * MB,
+            tag: ReqTag(0),
+        },
         Op::Test { tag: ReqTag(0) }, // immediately after submit: not done
         Op::Compute { seconds: 1.0 },
         Op::Test { tag: ReqTag(0) }, // long after: done
@@ -26,16 +33,27 @@ fn test_probe_keeps_request_live() {
     let mut w = World::new(cfg(1, 100.0 * MB), vec![p], NoHooks);
     w.create_file("f");
     let s = w.run();
-    assert!((s.makespan() - 1.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 1.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
 }
 
 #[test]
 fn poll_wait_completes_and_accounts_lost_time() {
     // 200 MB at 100 MB/s = 2 s of I/O; only 0.5 s hidden -> ~1.5 s polled.
     let ops = vec![
-        Op::IWrite { file: FileId(0), bytes: 200.0 * MB, tag: ReqTag(0) },
+        Op::IWrite {
+            file: FileId(0),
+            bytes: 200.0 * MB,
+            tag: ReqTag(0),
+        },
         Op::Compute { seconds: 0.5 },
-        Op::PollWait { tag: ReqTag(0), interval: 0.01 },
+        Op::PollWait {
+            tag: ReqTag(0),
+            interval: 0.01,
+        },
     ];
     let mut w = World::new(cfg(1, 100.0 * MB), vec![Program::from_ops(ops)], NoHooks);
     w.create_file("f");
@@ -53,9 +71,16 @@ fn poll_wait_completes_and_accounts_lost_time() {
 #[test]
 fn poll_wait_returns_immediately_when_done() {
     let ops = vec![
-        Op::IWrite { file: FileId(0), bytes: 1.0 * MB, tag: ReqTag(0) },
+        Op::IWrite {
+            file: FileId(0),
+            bytes: 1.0 * MB,
+            tag: ReqTag(0),
+        },
         Op::Compute { seconds: 1.0 },
-        Op::PollWait { tag: ReqTag(0), interval: 0.05 },
+        Op::PollWait {
+            tag: ReqTag(0),
+            interval: 0.05,
+        },
     ];
     let mut w = World::new(cfg(1, 100.0 * MB), vec![Program::from_ops(ops)], NoHooks);
     w.create_file("f");
@@ -94,7 +119,11 @@ fn threaded_poll_wait() {
 #[should_panic(expected = "unknown request")]
 fn test_on_unknown_request_panics() {
     let ops = vec![
-        Op::IWrite { file: FileId(0), bytes: 1.0, tag: ReqTag(0) },
+        Op::IWrite {
+            file: FileId(0),
+            bytes: 1.0,
+            tag: ReqTag(0),
+        },
         Op::Wait { tag: ReqTag(0) },
         Op::Test { tag: ReqTag(0) }, // already freed
     ];
@@ -107,8 +136,7 @@ fn test_on_unknown_request_panics() {
             op
         }
     }
-    let mut w: World<NoHooks> =
-        World::with_driver(cfg(1, 1e9), Box::new(Raw(ops, 0)), NoHooks);
+    let mut w: World<NoHooks> = World::with_driver(cfg(1, 1e9), Box::new(Raw(ops, 0)), NoHooks);
     w.create_file("f");
     w.run();
 }

@@ -6,7 +6,10 @@ use pfsim::PfsConfig;
 
 fn cfg(n: usize) -> WorldConfig {
     let mut c = WorldConfig::new(n);
-    c.pfs = PfsConfig { write_capacity: 1e9, read_capacity: 1e9 };
+    c.pfs = PfsConfig {
+        write_capacity: 1e9,
+        read_capacity: 1e9,
+    };
     c
 }
 
@@ -78,7 +81,11 @@ fn collective_io_through_threaded_api() {
         ctx.read_all(f, 1e6);
     });
     // 9 MB write + 9 MB read over 1 GB/s plus shuffles.
-    assert!(summary.makespan() > 0.028, "makespan {}", summary.makespan());
+    assert!(
+        summary.makespan() > 0.028,
+        "makespan {}",
+        summary.makespan()
+    );
     for a in &summary.accounting {
         assert!(a.sync_write > 0.0 && a.sync_read > 0.0);
     }

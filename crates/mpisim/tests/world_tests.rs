@@ -6,7 +6,10 @@ use pfsim::PfsConfig;
 
 fn cfg(n: usize, cap: f64) -> WorldConfig {
     let mut c = WorldConfig::new(n);
-    c.pfs = PfsConfig { write_capacity: cap, read_capacity: cap };
+    c.pfs = PfsConfig {
+        write_capacity: cap,
+        read_capacity: cap,
+    };
     c
 }
 
@@ -33,11 +36,21 @@ fn sync_write_time_adds_to_runtime() {
     let mut w = uniform_world(
         1,
         100.0 * MB,
-        vec![Op::Compute { seconds: 1.0 }, Op::Write { file: mpisim::FileId(0), bytes: 100.0 * MB }],
+        vec![
+            Op::Compute { seconds: 1.0 },
+            Op::Write {
+                file: mpisim::FileId(0),
+                bytes: 100.0 * MB,
+            },
+        ],
     );
     w.create_file("f");
     let s = w.run();
-    assert!((s.makespan() - 2.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 2.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
     assert!((s.accounting[0].sync_write - 1.0).abs() < 1e-6);
 }
 
@@ -47,14 +60,24 @@ fn async_write_fully_hidden() {
         1,
         100.0 * MB,
         vec![
-            Op::IWrite { file: mpisim::FileId(0), bytes: 50.0 * MB, tag: mpisim::ReqTag(0) },
+            Op::IWrite {
+                file: mpisim::FileId(0),
+                bytes: 50.0 * MB,
+                tag: mpisim::ReqTag(0),
+            },
             Op::Compute { seconds: 1.0 }, // I/O takes 0.5 s, hidden
-            Op::Wait { tag: mpisim::ReqTag(0) },
+            Op::Wait {
+                tag: mpisim::ReqTag(0),
+            },
         ],
     );
     w.create_file("f");
     let s = w.run();
-    assert!((s.makespan() - 1.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 1.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
     assert!(s.accounting[0].wait_write < 1e-9);
 }
 
@@ -65,14 +88,24 @@ fn async_write_partially_visible() {
         1,
         100.0 * MB,
         vec![
-            Op::IWrite { file: mpisim::FileId(0), bytes: 200.0 * MB, tag: mpisim::ReqTag(0) },
+            Op::IWrite {
+                file: mpisim::FileId(0),
+                bytes: 200.0 * MB,
+                tag: mpisim::ReqTag(0),
+            },
             Op::Compute { seconds: 1.0 },
-            Op::Wait { tag: mpisim::ReqTag(0) },
+            Op::Wait {
+                tag: mpisim::ReqTag(0),
+            },
         ],
     );
     w.create_file("f");
     let s = w.run();
-    assert!((s.makespan() - 2.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 2.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
     assert!((s.accounting[0].wait_write - 1.0).abs() < 1e-6);
 }
 
@@ -82,17 +115,33 @@ fn reads_and_writes_use_separate_channels() {
         1,
         100.0 * MB,
         vec![
-            Op::IWrite { file: mpisim::FileId(0), bytes: 100.0 * MB, tag: mpisim::ReqTag(0) },
-            Op::IRead { file: mpisim::FileId(0), bytes: 100.0 * MB, tag: mpisim::ReqTag(1) },
+            Op::IWrite {
+                file: mpisim::FileId(0),
+                bytes: 100.0 * MB,
+                tag: mpisim::ReqTag(0),
+            },
+            Op::IRead {
+                file: mpisim::FileId(0),
+                bytes: 100.0 * MB,
+                tag: mpisim::ReqTag(1),
+            },
             Op::Compute { seconds: 2.0 },
-            Op::Wait { tag: mpisim::ReqTag(0) },
-            Op::Wait { tag: mpisim::ReqTag(1) },
+            Op::Wait {
+                tag: mpisim::ReqTag(0),
+            },
+            Op::Wait {
+                tag: mpisim::ReqTag(1),
+            },
         ],
     );
     w.create_file("f");
     let s = w.run();
     // Both transfers take 1 s in parallel on separate channels, hidden by 2 s.
-    assert!((s.makespan() - 2.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 2.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
 }
 
 #[test]
@@ -101,23 +150,41 @@ fn contention_slows_sync_writers() {
     let mut w = uniform_world(
         4,
         100.0 * MB,
-        vec![Op::Write { file: mpisim::FileId(0), bytes: 100.0 * MB }],
+        vec![Op::Write {
+            file: mpisim::FileId(0),
+            bytes: 100.0 * MB,
+        }],
     );
     w.create_file("f");
     let s = w.run();
-    assert!((s.makespan() - 4.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 4.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
 }
 
 #[test]
 fn barrier_synchronizes() {
     let mk = |secs: f64| {
-        Program::from_ops(vec![Op::Compute { seconds: secs }, Op::Barrier, Op::Compute { seconds: 0.5 }])
+        Program::from_ops(vec![
+            Op::Compute { seconds: secs },
+            Op::Barrier,
+            Op::Compute { seconds: 0.5 },
+        ])
     };
     let mut w = World::new(cfg(2, 1e9), vec![mk(1.0), mk(3.0)], NoHooks);
     let s = w.run();
     // Slow rank reaches barrier at 3.0; both finish ≈ 3.5.
-    assert!((s.makespan() - 3.5).abs() < 1e-3, "makespan {}", s.makespan());
-    assert!(s.accounting[0].collective > 1.9, "fast rank waited in barrier");
+    assert!(
+        (s.makespan() - 3.5).abs() < 1e-3,
+        "makespan {}",
+        s.makespan()
+    );
+    assert!(
+        s.accounting[0].collective > 1.9,
+        "fast rank waited in barrier"
+    );
 }
 
 #[test]
@@ -144,7 +211,10 @@ fn limiter_disabled_ignores_limits() {
     // With the limiter off, a stored limit must not slow I/O down.
     let mut c = cfg(1, 100.0 * MB);
     c.limiter_enabled = false;
-    let p = Program::from_ops(vec![Op::Write { file: mpisim::FileId(0), bytes: 100.0 * MB }]);
+    let p = Program::from_ops(vec![Op::Write {
+        file: mpisim::FileId(0),
+        bytes: 100.0 * MB,
+    }]);
     let mut w = World::new(c, vec![p], NoHooks);
     w.create_file("f");
     let s = w.run();
@@ -157,9 +227,18 @@ fn file_bytes_accumulate() {
         2,
         1e9,
         vec![
-            Op::Write { file: mpisim::FileId(0), bytes: 7.0 * MB },
-            Op::IWrite { file: mpisim::FileId(0), bytes: 3.0 * MB, tag: mpisim::ReqTag(0) },
-            Op::Wait { tag: mpisim::ReqTag(0) },
+            Op::Write {
+                file: mpisim::FileId(0),
+                bytes: 7.0 * MB,
+            },
+            Op::IWrite {
+                file: mpisim::FileId(0),
+                bytes: 3.0 * MB,
+                tag: mpisim::ReqTag(0),
+            },
+            Op::Wait {
+                tag: mpisim::ReqTag(0),
+            },
         ],
     );
     let f = w.create_file("f");
@@ -171,11 +250,16 @@ fn file_bytes_accumulate() {
 fn deterministic_with_noise() {
     use simcore::Noise;
     let run = || {
-        let mut c = cfg(8, 1e9).with_compute_noise(Noise::UniformRel(0.2)).with_seed(7);
+        let mut c = cfg(8, 1e9)
+            .with_compute_noise(Noise::UniformRel(0.2))
+            .with_seed(7);
         c.record_pfs = false;
         let ops = vec![
             Op::Compute { seconds: 1.0 },
-            Op::Write { file: mpisim::FileId(0), bytes: 10.0 * MB },
+            Op::Write {
+                file: mpisim::FileId(0),
+                bytes: 10.0 * MB,
+            },
             Op::Compute { seconds: 1.0 },
         ];
         let mut w = World::new(c, vec![Program::from_ops(ops); 8], NoHooks);
@@ -192,7 +276,9 @@ fn deterministic_with_noise() {
 fn different_seeds_differ() {
     use simcore::Noise;
     let run = |seed| {
-        let c = cfg(4, 1e9).with_compute_noise(Noise::UniformRel(0.2)).with_seed(seed);
+        let c = cfg(4, 1e9)
+            .with_compute_noise(Noise::UniformRel(0.2))
+            .with_seed(seed);
         let ops = vec![Op::Compute { seconds: 1.0 }];
         let mut w = World::new(c, vec![Program::from_ops(ops); 4], NoHooks);
         w.run().makespan()
@@ -203,7 +289,9 @@ fn different_seeds_differ() {
 #[test]
 #[should_panic(expected = "program invalid")]
 fn invalid_program_rejected() {
-    let p = Program::from_ops(vec![Op::Wait { tag: mpisim::ReqTag(0) }]);
+    let p = Program::from_ops(vec![Op::Wait {
+        tag: mpisim::ReqTag(0),
+    }]);
     let _ = World::new(cfg(1, 1e9), vec![p], NoHooks);
 }
 
@@ -221,7 +309,10 @@ fn pfs_series_recorded() {
     let mut w = uniform_world(
         1,
         100.0 * MB,
-        vec![Op::Write { file: mpisim::FileId(0), bytes: 100.0 * MB }],
+        vec![Op::Write {
+            file: mpisim::FileId(0),
+            bytes: 100.0 * MB,
+        }],
     );
     w.create_file("f");
     w.run();
@@ -253,15 +344,25 @@ fn limited_async_write_stretches_to_limit() {
     c.limiter_enabled = true;
     c.subreq_bytes = MB;
     let ops = vec![
-        Op::IWrite { file: mpisim::FileId(0), bytes: 20.0 * MB, tag: mpisim::ReqTag(0) },
+        Op::IWrite {
+            file: mpisim::FileId(0),
+            bytes: 20.0 * MB,
+            tag: mpisim::ReqTag(0),
+        },
         Op::Compute { seconds: 3.0 },
-        Op::Wait { tag: mpisim::ReqTag(0) },
+        Op::Wait {
+            tag: mpisim::ReqTag(0),
+        },
     ];
     let mut w = World::new(c, vec![Program::from_ops(ops)], SetLimit);
     w.create_file("f");
     let s = w.run();
     // 20 MB at 10 MB/s = 2 s of paced I/O, hidden in the 3 s window.
-    assert!((s.makespan() - 3.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 3.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
     // The peak PFS rate is bounded by ~capacity only during bursts, but the
     // average over the paced interval is ~10 MB/s: check the burst flattening
     // by integrating over the first 2 s.
@@ -296,13 +397,23 @@ fn limit_above_capacity_adds_no_delay() {
     c.limiter_enabled = true;
     c.subreq_bytes = MB;
     let ops = vec![
-        Op::IWrite { file: mpisim::FileId(0), bytes: 100.0 * MB, tag: mpisim::ReqTag(0) },
-        Op::Wait { tag: mpisim::ReqTag(0) },
+        Op::IWrite {
+            file: mpisim::FileId(0),
+            bytes: 100.0 * MB,
+            tag: mpisim::ReqTag(0),
+        },
+        Op::Wait {
+            tag: mpisim::ReqTag(0),
+        },
     ];
     let mut w = World::new(c, vec![Program::from_ops(ops)], SetLimit);
     w.create_file("f");
     let s = w.run();
-    assert!((s.makespan() - 1.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 1.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
 }
 
 /// Deficit accounting: a slow first sub-request reduces later sleeps so the
@@ -331,9 +442,15 @@ fn deficit_reduces_later_sleeps() {
     c.limiter_enabled = true;
     c.subreq_bytes = 5.0 * MB;
     let ops = vec![
-        Op::IWrite { file: mpisim::FileId(0), bytes: 50.0 * MB, tag: mpisim::ReqTag(0) },
+        Op::IWrite {
+            file: mpisim::FileId(0),
+            bytes: 50.0 * MB,
+            tag: mpisim::ReqTag(0),
+        },
         Op::Compute { seconds: 10.0 },
-        Op::Wait { tag: mpisim::ReqTag(0) },
+        Op::Wait {
+            tag: mpisim::ReqTag(0),
+        },
     ];
     let mut w = World::new(c, vec![Program::from_ops(ops)], SetLimit);
     w.create_file("f");
@@ -344,7 +461,11 @@ fn deficit_reduces_later_sleeps() {
     let s = w.run();
     // At 10 MB/s the 50 MB take 5 s; the limit would demand only 1 s.
     // Deficit means no *additional* sleeps: total I/O ≈ 5 s < compute 10 s.
-    assert!((s.makespan() - 10.0).abs() < 1e-6, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 10.0).abs() < 1e-6,
+        "makespan {}",
+        s.makespan()
+    );
     assert!(s.accounting[0].wait_write < 1e-9);
 }
 
@@ -357,12 +478,18 @@ fn capacity_noise_changes_makespan_deterministically() {
             period: 0.1,
             noise: Noise::UniformRel(0.5),
         });
-        let ops = vec![Op::Write { file: mpisim::FileId(0), bytes: 200.0 * MB }];
+        let ops = vec![Op::Write {
+            file: mpisim::FileId(0),
+            bytes: 200.0 * MB,
+        }];
         let mut w = World::new(c, vec![Program::from_ops(ops)], NoHooks);
         w.create_file("f");
         w.run().makespan()
     };
     let a = run(3);
     assert_eq!(a, run(3));
-    assert!((a - 2.0).abs() > 1e-3, "noise should perturb the 2 s nominal time");
+    assert!(
+        (a - 2.0).abs() > 1e-3,
+        "noise should perturb the 2 s nominal time"
+    );
 }

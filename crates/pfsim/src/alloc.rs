@@ -33,6 +33,16 @@ pub struct Allocation {
     pub theta: f64,
 }
 
+/// Reusable buffers for repeated [`water_fill_into`] solves.
+///
+/// The fluid engine re-solves the allocation on every state change; keeping
+/// the sort/freeze buffers resident makes the hot path allocation-free.
+#[derive(Default, Debug)]
+pub struct WaterFillScratch {
+    order: Vec<usize>,
+    frozen: Vec<bool>,
+}
+
 /// Solves the bounded max-min allocation for `capacity` bytes/s.
 ///
 /// Complexity: O(n log n) in the number of demand entries (not flows — callers
@@ -48,17 +58,54 @@ pub struct Allocation {
 /// assert_eq!(alloc.rates, vec![10.0, 90.0]); // work-conserving
 /// ```
 pub fn water_fill(capacity: f64, demands: &[Demand]) -> Allocation {
+    let mut scratch = WaterFillScratch::default();
+    let mut rates = Vec::with_capacity(demands.len());
+    let theta = water_fill_into(capacity, demands, &mut scratch, &mut rates);
+    Allocation { rates, theta }
+}
+
+/// Allocation-free variant of [`water_fill`]: writes per-flow rates into
+/// `rates` (cleared first) and returns θ, reusing `scratch` between calls.
+///
+/// Produces bit-identical results to [`water_fill`]. When no demand carries a
+/// cap — the dominant case for synchronized bursts — the solve skips the
+/// breakpoint sort entirely and runs in O(n).
+pub fn water_fill_into(
+    capacity: f64,
+    demands: &[Demand],
+    scratch: &mut WaterFillScratch,
+    rates: &mut Vec<f64>,
+) -> f64 {
     assert!(capacity >= 0.0, "capacity must be non-negative");
+    rates.clear();
+    let mut any_cap = false;
+    let mut total_weight = 0.0f64;
     for d in demands {
         assert!(d.weight > 0.0, "weights must be positive");
         if let Some(c) = d.cap {
             assert!(c >= 0.0, "caps must be non-negative");
+            any_cap = true;
         }
+        total_weight += d.weight * d.count as f64;
+    }
+
+    // Fast path: with no caps the first breakpoint walk iteration binds θ
+    // immediately, so the sort is pure overhead. Same float operations as
+    // the general path, hence bit-identical rates.
+    if !any_cap {
+        if demands.is_empty() {
+            return f64::INFINITY;
+        }
+        let theta = capacity / total_weight;
+        rates.extend(demands.iter().map(|d| theta * d.weight));
+        return theta;
     }
 
     // Breakpoint of entry i: the θ at which it becomes cap-limited.
     // Sort entry indices by breakpoint ascending (uncapped = ∞ last).
-    let mut order: Vec<usize> = (0..demands.len()).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..demands.len());
     let breakpoint = |d: &Demand| d.cap.map_or(f64::INFINITY, |c| c / d.weight);
     order.sort_by(|&a, &b| {
         breakpoint(&demands[a])
@@ -69,11 +116,13 @@ pub fn water_fill(capacity: f64, demands: &[Demand]) -> Allocation {
     // Walk breakpoints from the smallest: entries whose breakpoint is below
     // the candidate θ are frozen at their cap.
     let mut remaining_capacity = capacity;
-    let mut active_weight: f64 = demands.iter().map(|d| d.weight * d.count as f64).sum();
+    let mut active_weight: f64 = total_weight;
     let mut theta = f64::INFINITY;
-    let mut frozen = vec![false; demands.len()];
+    let frozen = &mut scratch.frozen;
+    frozen.clear();
+    frozen.resize(demands.len(), false);
 
-    for &i in &order {
+    for &i in order.iter() {
         let d = &demands[i];
         let bp = breakpoint(d);
         if active_weight <= 0.0 {
@@ -103,30 +152,26 @@ pub fn water_fill(capacity: f64, demands: &[Demand]) -> Allocation {
         }
     }
 
-    let rates = demands
-        .iter()
-        .enumerate()
-        .map(|(i, d)| {
-            let fair = if theta.is_infinite() {
-                f64::INFINITY
-            } else {
-                theta * d.weight
-            };
-            let r = match d.cap {
-                Some(c) if frozen[i] || c <= fair => c,
-                _ => fair,
-            };
-            if r.is_infinite() {
-                // Uncapped flow with non-binding capacity can only happen
-                // with infinite capacity; treat as "all you want".
-                capacity
-            } else {
-                r
-            }
-        })
-        .collect();
+    rates.extend(demands.iter().enumerate().map(|(i, d)| {
+        let fair = if theta.is_infinite() {
+            f64::INFINITY
+        } else {
+            theta * d.weight
+        };
+        let r = match d.cap {
+            Some(c) if frozen[i] || c <= fair => c,
+            _ => fair,
+        };
+        if r.is_infinite() {
+            // Uncapped flow with non-binding capacity can only happen
+            // with infinite capacity; treat as "all you want".
+            capacity
+        } else {
+            r
+        }
+    }));
 
-    Allocation { rates, theta }
+    theta
 }
 
 #[cfg(test)]
@@ -134,18 +179,22 @@ mod tests {
     use super::*;
 
     fn total(a: &Allocation, d: &[Demand]) -> f64 {
-        a.rates
-            .iter()
-            .zip(d)
-            .map(|(r, d)| r * d.count as f64)
-            .sum()
+        a.rates.iter().zip(d).map(|(r, d)| r * d.count as f64).sum()
     }
 
     #[test]
     fn equal_split_without_caps() {
         let d = vec![
-            Demand { count: 1, weight: 1.0, cap: None },
-            Demand { count: 1, weight: 1.0, cap: None },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: None,
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: None,
+            },
         ];
         let a = water_fill(100.0, &d);
         assert_eq!(a.rates, vec![50.0, 50.0]);
@@ -154,8 +203,16 @@ mod tests {
     #[test]
     fn weighted_split() {
         let d = vec![
-            Demand { count: 1, weight: 1.0, cap: None },
-            Demand { count: 1, weight: 3.0, cap: None },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: None,
+            },
+            Demand {
+                count: 1,
+                weight: 3.0,
+                cap: None,
+            },
         ];
         let a = water_fill(100.0, &d);
         assert_eq!(a.rates, vec![25.0, 75.0]);
@@ -164,8 +221,16 @@ mod tests {
     #[test]
     fn cap_releases_bandwidth_to_others() {
         let d = vec![
-            Demand { count: 1, weight: 1.0, cap: Some(10.0) },
-            Demand { count: 1, weight: 1.0, cap: None },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(10.0),
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: None,
+            },
         ];
         let a = water_fill(100.0, &d);
         assert_eq!(a.rates, vec![10.0, 90.0]);
@@ -174,8 +239,16 @@ mod tests {
     #[test]
     fn caps_below_capacity_grant_all_caps() {
         let d = vec![
-            Demand { count: 2, weight: 1.0, cap: Some(10.0) },
-            Demand { count: 1, weight: 1.0, cap: Some(20.0) },
+            Demand {
+                count: 2,
+                weight: 1.0,
+                cap: Some(10.0),
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(20.0),
+            },
         ];
         let a = water_fill(100.0, &d);
         assert_eq!(a.rates, vec![10.0, 20.0]);
@@ -185,7 +258,11 @@ mod tests {
     #[test]
     fn caps_above_capacity_water_fill() {
         // Two flows capped at 80 each, capacity 100 -> each gets 50.
-        let d = vec![Demand { count: 2, weight: 1.0, cap: Some(80.0) }];
+        let d = vec![Demand {
+            count: 2,
+            weight: 1.0,
+            cap: Some(80.0),
+        }];
         let a = water_fill(100.0, &d);
         assert_eq!(a.rates, vec![50.0]);
     }
@@ -196,9 +273,21 @@ mod tests {
         // flow0 -> 10 (capped); remaining 90 split between flow1 (cap 40) and
         // flow2: fair = 45 > 40, so flow1 -> 40, flow2 -> 50.
         let d = vec![
-            Demand { count: 1, weight: 1.0, cap: Some(10.0) },
-            Demand { count: 1, weight: 1.0, cap: Some(40.0) },
-            Demand { count: 1, weight: 1.0, cap: None },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(10.0),
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(40.0),
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: None,
+            },
         ];
         let a = water_fill(100.0, &d);
         assert_eq!(a.rates, vec![10.0, 40.0, 50.0]);
@@ -207,14 +296,38 @@ mod tests {
     #[test]
     fn grouped_counts_match_individual() {
         let grouped = vec![
-            Demand { count: 3, weight: 1.0, cap: Some(20.0) },
-            Demand { count: 1, weight: 2.0, cap: None },
+            Demand {
+                count: 3,
+                weight: 1.0,
+                cap: Some(20.0),
+            },
+            Demand {
+                count: 1,
+                weight: 2.0,
+                cap: None,
+            },
         ];
         let individual = vec![
-            Demand { count: 1, weight: 1.0, cap: Some(20.0) },
-            Demand { count: 1, weight: 1.0, cap: Some(20.0) },
-            Demand { count: 1, weight: 1.0, cap: Some(20.0) },
-            Demand { count: 1, weight: 2.0, cap: None },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(20.0),
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(20.0),
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(20.0),
+            },
+            Demand {
+                count: 1,
+                weight: 2.0,
+                cap: None,
+            },
         ];
         let ag = water_fill(90.0, &grouped);
         let ai = water_fill(90.0, &individual);
@@ -224,17 +337,33 @@ mod tests {
 
     #[test]
     fn single_flow_gets_min_of_cap_and_capacity() {
-        let d = vec![Demand { count: 1, weight: 1.0, cap: Some(250.0) }];
+        let d = vec![Demand {
+            count: 1,
+            weight: 1.0,
+            cap: Some(250.0),
+        }];
         assert_eq!(water_fill(100.0, &d).rates, vec![100.0]);
-        let d = vec![Demand { count: 1, weight: 1.0, cap: Some(50.0) }];
+        let d = vec![Demand {
+            count: 1,
+            weight: 1.0,
+            cap: Some(50.0),
+        }];
         assert_eq!(water_fill(100.0, &d).rates, vec![50.0]);
     }
 
     #[test]
     fn zero_capacity_yields_zero_rates() {
         let d = vec![
-            Demand { count: 1, weight: 1.0, cap: None },
-            Demand { count: 1, weight: 1.0, cap: Some(5.0) },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: None,
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(5.0),
+            },
         ];
         let a = water_fill(0.0, &d);
         assert_eq!(a.rates, vec![0.0, 0.0]);
@@ -243,8 +372,16 @@ mod tests {
     #[test]
     fn zero_cap_flow_is_stalled() {
         let d = vec![
-            Demand { count: 1, weight: 1.0, cap: Some(0.0) },
-            Demand { count: 1, weight: 1.0, cap: None },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: Some(0.0),
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: None,
+            },
         ];
         let a = water_fill(100.0, &d);
         assert_eq!(a.rates, vec![0.0, 100.0]);
@@ -260,17 +397,44 @@ mod tests {
     fn conservation_never_exceeds_capacity() {
         // A few handcrafted mixes.
         let cases: Vec<(f64, Vec<Demand>)> = vec![
-            (100.0, vec![
-                Demand { count: 5, weight: 1.0, cap: Some(30.0) },
-                Demand { count: 2, weight: 4.0, cap: None },
-            ]),
-            (1.0, vec![
-                Demand { count: 100, weight: 0.5, cap: Some(0.01) },
-            ]),
-            (106e9, vec![
-                Demand { count: 9216, weight: 1.0, cap: Some(5e6) },
-                Demand { count: 1, weight: 96.0, cap: None },
-            ]),
+            (
+                100.0,
+                vec![
+                    Demand {
+                        count: 5,
+                        weight: 1.0,
+                        cap: Some(30.0),
+                    },
+                    Demand {
+                        count: 2,
+                        weight: 4.0,
+                        cap: None,
+                    },
+                ],
+            ),
+            (
+                1.0,
+                vec![Demand {
+                    count: 100,
+                    weight: 0.5,
+                    cap: Some(0.01),
+                }],
+            ),
+            (
+                106e9,
+                vec![
+                    Demand {
+                        count: 9216,
+                        weight: 1.0,
+                        cap: Some(5e6),
+                    },
+                    Demand {
+                        count: 1,
+                        weight: 96.0,
+                        cap: None,
+                    },
+                ],
+            ),
         ];
         for (cap, d) in cases {
             let a = water_fill(cap, &d);
@@ -279,11 +443,88 @@ mod tests {
     }
 
     #[test]
+    fn into_variant_matches_allocating_variant_across_reuse() {
+        // One scratch reused across solves of different shapes, including
+        // the no-cap fast path and the empty case, must match `water_fill`
+        // bit-for-bit.
+        let cases: Vec<(f64, Vec<Demand>)> = vec![
+            (100.0, vec![]),
+            (
+                100.0,
+                vec![Demand {
+                    count: 3,
+                    weight: 1.5,
+                    cap: None,
+                }],
+            ),
+            (
+                90.0,
+                vec![
+                    Demand {
+                        count: 1,
+                        weight: 1.0,
+                        cap: Some(10.0),
+                    },
+                    Demand {
+                        count: 2,
+                        weight: 2.0,
+                        cap: None,
+                    },
+                    Demand {
+                        count: 1,
+                        weight: 1.0,
+                        cap: Some(40.0),
+                    },
+                ],
+            ),
+            (
+                0.0,
+                vec![Demand {
+                    count: 4,
+                    weight: 1.0,
+                    cap: Some(5.0),
+                }],
+            ),
+            (
+                106e9,
+                vec![
+                    Demand {
+                        count: 9216,
+                        weight: 1.0,
+                        cap: Some(5e6),
+                    },
+                    Demand {
+                        count: 1,
+                        weight: 96.0,
+                        cap: None,
+                    },
+                ],
+            ),
+        ];
+        let mut scratch = WaterFillScratch::default();
+        let mut rates = Vec::new();
+        for (cap, d) in &cases {
+            let reference = water_fill(*cap, d);
+            let theta = water_fill_into(*cap, d, &mut scratch, &mut rates);
+            assert_eq!(reference.rates, rates);
+            assert_eq!(reference.theta, theta);
+        }
+    }
+
+    #[test]
     fn work_conserving_when_demand_exceeds_capacity() {
         // If at least one uncapped flow exists, all capacity is used.
         let d = vec![
-            Demand { count: 3, weight: 1.0, cap: Some(10.0) },
-            Demand { count: 1, weight: 1.0, cap: None },
+            Demand {
+                count: 3,
+                weight: 1.0,
+                cap: Some(10.0),
+            },
+            Demand {
+                count: 1,
+                weight: 1.0,
+                cap: None,
+            },
         ];
         let a = water_fill(200.0, &d);
         assert!((total(&a, &d) - 200.0).abs() < 1e-9);

@@ -24,7 +24,11 @@ pub struct BurstBufferConfig {
 impl Default for BurstBufferConfig {
     /// A DataWarp-ish node-local tier: 256 GB at 5 GB/s absorb, 1 GB/s drain.
     fn default() -> Self {
-        BurstBufferConfig { size_bytes: 256e9, absorb_rate: 5e9, drain_rate: 1e9 }
+        BurstBufferConfig {
+            size_bytes: 256e9,
+            absorb_rate: 5e9,
+            drain_rate: 1e9,
+        }
     }
 }
 
@@ -42,7 +46,11 @@ impl BurstBuffer {
     /// An empty buffer.
     pub fn new(cfg: BurstBufferConfig) -> Self {
         assert!(cfg.size_bytes > 0.0 && cfg.absorb_rate > 0.0 && cfg.drain_rate > 0.0);
-        BurstBuffer { cfg, occupied: 0.0, last_t: 0.0 }
+        BurstBuffer {
+            cfg,
+            occupied: 0.0,
+            last_t: 0.0,
+        }
     }
 
     /// The configuration.
@@ -151,7 +159,11 @@ mod tests {
     use super::*;
 
     fn cfg(size: f64, absorb: f64, drain: f64) -> BurstBufferConfig {
-        BurstBufferConfig { size_bytes: size, absorb_rate: absorb, drain_rate: drain }
+        BurstBufferConfig {
+            size_bytes: size,
+            absorb_rate: absorb,
+            drain_rate: drain,
+        }
     }
 
     #[test]

@@ -10,9 +10,10 @@
 //! that progress and complete together, which keeps 9216-rank synchronized
 //! bursts O(1) instead of O(ranks) per event.
 
-use crate::alloc::{water_fill, Demand};
+use crate::alloc::{water_fill_into, Demand, WaterFillScratch};
 use simcore::{SimTime, StepSeries};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Identifies a single flow (one logical transfer) for completion callbacks.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -57,7 +58,12 @@ pub struct FlowSpec {
 impl FlowSpec {
     /// Convenience: an uncapped weight-1 unmetered flow of `bytes`.
     pub fn simple(bytes: f64) -> Self {
-        FlowSpec { bytes, weight: 1.0, cap: None, meter: None }
+        FlowSpec {
+            bytes,
+            weight: 1.0,
+            cap: None,
+            meter: None,
+        }
     }
 }
 
@@ -86,14 +92,69 @@ pub struct PfsConfig {
 impl Default for PfsConfig {
     /// Lichtenberg II defaults from the paper: 106 GB/s write, 120 GB/s read.
     fn default() -> Self {
-        PfsConfig { write_capacity: 106e9, read_capacity: 120e9 }
+        PfsConfig {
+            write_capacity: 106e9,
+            read_capacity: 120e9,
+        }
     }
+}
+
+/// One entry of a channel's completion-time index: the absolute time the
+/// group was going to complete at, as computed by the reallocation of
+/// generation `gen`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct CtEntry {
+    at: SimTime,
+    gen: u64,
 }
 
 struct ChannelState {
     capacity: f64,
     groups: Vec<Group>,
     total_series: StepSeries,
+    /// Resident demand buffer, rebuilt in place by each reallocation.
+    demands: Vec<Demand>,
+    /// Resident rate output buffer for the water-fill solve.
+    rates: Vec<f64>,
+    /// Resident sort/freeze buffers for the water-fill solve.
+    fill: WaterFillScratch,
+    /// Min-heap of absolute completion times for groups with positive rate.
+    ///
+    /// Rates are piecewise-constant between reallocations, so a group's
+    /// absolute completion time is invariant while an allocation is live;
+    /// the heap top answers `next_completion` in O(1) instead of a scan
+    /// over all groups. Every group mutation goes through `reallocate`,
+    /// which bumps `gen` and rebuilds the index (O(g) heapify into the
+    /// retained buffer) — entries with a stale generation cannot be
+    /// observed, which the peeks assert in debug builds.
+    index: BinaryHeap<Reverse<CtEntry>>,
+    /// Allocation generation, bumped by each reallocation.
+    gen: u64,
+}
+
+impl ChannelState {
+    fn new(capacity: f64) -> Self {
+        ChannelState {
+            capacity,
+            groups: Vec::new(),
+            total_series: StepSeries::new(),
+            demands: Vec::new(),
+            rates: Vec::new(),
+            fill: WaterFillScratch::default(),
+            index: BinaryHeap::new(),
+            gen: 0,
+        }
+    }
+
+    /// Earliest indexed completion on this channel, if any flow is live and
+    /// not stalled.
+    #[inline]
+    fn next_completion(&self) -> Option<SimTime> {
+        self.index.peek().map(|Reverse(e)| {
+            debug_assert_eq!(e.gen, self.gen, "stale completion-index entry observed");
+            e.at
+        })
+    }
 }
 
 /// The fluid PFS engine. See module docs.
@@ -106,6 +167,8 @@ pub struct Pfs {
     /// flow -> (channel, group slot) lookup for cap changes.
     locator: HashMap<FlowId, Channel>,
     record: bool,
+    /// Resident per-meter rate buffer for series recording.
+    meter_rates: Vec<f64>,
 }
 
 /// Bytes below which a flow counts as finished (guards FP drift).
@@ -118,16 +181,8 @@ impl Pfs {
         assert!(config.write_capacity >= 0.0 && config.read_capacity >= 0.0);
         Pfs {
             channels: [
-                ChannelState {
-                    capacity: config.write_capacity,
-                    groups: Vec::new(),
-                    total_series: StepSeries::new(),
-                },
-                ChannelState {
-                    capacity: config.read_capacity,
-                    groups: Vec::new(),
-                    total_series: StepSeries::new(),
-                },
+                ChannelState::new(config.write_capacity),
+                ChannelState::new(config.read_capacity),
             ],
             now: SimTime::ZERO,
             next_flow: 0,
@@ -135,6 +190,7 @@ impl Pfs {
             meter_series: Vec::new(),
             locator: HashMap::new(),
             record: true,
+            meter_rates: Vec::new(),
         }
     }
 
@@ -284,40 +340,35 @@ impl Pfs {
 
     /// Earliest future completion across both channels, if any flow is live.
     /// Returns `None` when idle or when all live flows are stalled (rate 0).
+    ///
+    /// O(1): both channels answer from their completion-time index.
     pub fn next_completion(&self) -> Option<SimTime> {
-        let mut best: Option<SimTime> = None;
-        for ch in &self.channels {
-            for g in &ch.groups {
-                if g.rate > 0.0 {
-                    let t = self.now.after(g.remaining / g.rate);
-                    best = Some(best.map_or(t, |b| b.min(t)));
-                }
-            }
+        match (
+            self.channels[0].next_completion(),
+            self.channels[1].next_completion(),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
         }
-        best
     }
 
     /// Advances the fluid state to time `t`, returning every flow that
     /// completed at or before `t` with its completion time, in time order.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<(SimTime, FlowId)> {
-        assert!(t >= self.now, "PFS cannot move backwards: {t:?} < {:?}", self.now);
+        assert!(
+            t >= self.now,
+            "PFS cannot move backwards: {t:?} < {:?}",
+            self.now
+        );
         let mut completed = Vec::new();
         loop {
-            // Find the earliest internal completion before t.
-            let mut next: Option<SimTime> = None;
-            for ch in &self.channels {
-                for g in &ch.groups {
-                    if g.rate > 0.0 {
-                        let ct = self.now.after(g.remaining / g.rate);
-                        if ct <= t {
-                            next = Some(next.map_or(ct, |n| n.min(ct)));
-                        }
-                    }
-                }
-            }
-            let step_to = match next {
-                Some(ct) => ct,
-                None => {
+            // The earliest internal completion comes straight off the index
+            // (the same helper `next_completion` exposes), replacing the
+            // per-step O(groups) scan this loop head used to share with it.
+            let step_to = match self.next_completion() {
+                Some(ct) if ct <= t => ct,
+                _ => {
                     self.progress_all(t);
                     self.now = t;
                     return completed;
@@ -333,6 +384,13 @@ impl Pfs {
             let time_ulp = step_to.as_secs().abs() * 2.3e-16 + 1e-18;
             for channel in [Channel::Write, Channel::Read] {
                 let idx = channel.index();
+                // Only sweep a channel whose index says a completion is due
+                // now; the other channel's groups cannot have reached zero
+                // (their indexed completions lie strictly in the future).
+                match self.channels[idx].next_completion() {
+                    Some(due) if due <= step_to => {}
+                    _ => continue,
+                }
                 let mut finished_any = false;
                 let mut i = 0;
                 while i < self.channels[idx].groups.len() {
@@ -351,6 +409,13 @@ impl Pfs {
                 }
                 if finished_any {
                     self.reallocate(channel);
+                } else {
+                    // Defensive: the due entry's group did not pass the
+                    // byte-epsilon check (cannot happen — progress_all snaps
+                    // a fully-covered group to exactly zero). Drop the entry
+                    // so the loop is guaranteed to make progress.
+                    debug_assert!(finished_any, "due completion harvested nothing");
+                    self.channels[idx].index.pop();
                 }
             }
         }
@@ -379,18 +444,88 @@ impl Pfs {
         }
     }
 
-    /// Recomputes rates on `channel` after a state change and records series.
+    /// Test support: asserts that the incremental allocator state and the
+    /// completion-time index agree with a from-scratch recomputation.
+    ///
+    /// Rates must match *bitwise* (the incremental path runs the same solve
+    /// into resident buffers); indexed completion times may differ from a
+    /// rescan by FP ulps because they were computed against an earlier `now`.
+    #[doc(hidden)]
+    pub fn validate_invariants(&self) {
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let demands: Vec<Demand> = ch
+                .groups
+                .iter()
+                .map(|g| Demand {
+                    count: g.members.len(),
+                    weight: g.weight,
+                    cap: g.cap,
+                })
+                .collect();
+            let fresh = crate::alloc::water_fill(ch.capacity, &demands);
+            for (gi, (g, r)) in ch.groups.iter().zip(&fresh.rates).enumerate() {
+                assert!(
+                    g.rate == *r,
+                    "channel {ci} group {gi}: incremental rate {} != from-scratch {}",
+                    g.rate,
+                    r
+                );
+            }
+            let scan = ch
+                .groups
+                .iter()
+                .filter(|g| g.rate > 0.0)
+                .map(|g| self.now.after(g.remaining / g.rate))
+                .min();
+            match (ch.next_completion(), scan) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    let (a, b) = (a.as_secs(), b.as_secs());
+                    assert!(
+                        (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                        "channel {ci}: indexed completion {a} != rescanned {b}"
+                    );
+                }
+                (a, b) => panic!("channel {ci}: index {a:?} vs rescan {b:?}"),
+            }
+        }
+    }
+
+    /// Recomputes rates on `channel` after a state change, rebuilds the
+    /// channel's completion-time index, and records series.
+    ///
+    /// Allocation-free on the hot path: demands, rates, sort scratch and the
+    /// index buffer are all resident in the channel state. Only the dirty
+    /// channel is touched — the other channel's allocation and index remain
+    /// valid because channels never share capacity.
     fn reallocate(&mut self, channel: Channel) {
-        let idx = channel.index();
-        let demands: Vec<Demand> = self.channels[idx]
-            .groups
-            .iter()
-            .map(|g| Demand { count: g.members.len(), weight: g.weight, cap: g.cap })
-            .collect();
-        let alloc = water_fill(self.channels[idx].capacity, &demands);
-        for (g, &r) in self.channels[idx].groups.iter_mut().zip(&alloc.rates) {
+        let now = self.now;
+        let ch = &mut self.channels[channel.index()];
+        ch.demands.clear();
+        ch.demands.extend(ch.groups.iter().map(|g| Demand {
+            count: g.members.len(),
+            weight: g.weight,
+            cap: g.cap,
+        }));
+        water_fill_into(ch.capacity, &ch.demands, &mut ch.fill, &mut ch.rates);
+        for (g, &r) in ch.groups.iter_mut().zip(&ch.rates) {
             g.rate = r;
         }
+        // Rebuild the completion-time index: a reallocation may change every
+        // rate on this channel, so all prior entries are invalid. Reuse the
+        // heap's buffer and heapify in O(g). Stalled groups (rate 0) carry
+        // no entry, matching `next_completion`'s contract.
+        ch.gen += 1;
+        let gen = ch.gen;
+        let mut buf = std::mem::take(&mut ch.index).into_vec();
+        buf.clear();
+        buf.extend(ch.groups.iter().filter(|g| g.rate > 0.0).map(|g| {
+            Reverse(CtEntry {
+                at: now.after(g.remaining / g.rate),
+                gen,
+            })
+        }));
+        ch.index = BinaryHeap::from(buf);
         if self.record {
             self.record_series(channel);
         }
@@ -408,15 +543,16 @@ impl Pfs {
         // Meter rates are summed across BOTH channels (a meter may track read
         // and write flows of the same job). Every allocated meter is updated
         // so rates fall back to 0 once its flows complete.
-        let mut rates = vec![0.0f64; self.meter_series.len()];
+        self.meter_rates.clear();
+        self.meter_rates.resize(self.meter_series.len(), 0.0);
         for ch in &self.channels {
             for g in &ch.groups {
                 if let Some(m) = g.meter {
-                    rates[m.0] += g.rate * g.members.len() as f64;
+                    self.meter_rates[m.0] += g.rate * g.members.len() as f64;
                 }
             }
         }
-        for (s, r) in self.meter_series.iter_mut().zip(rates) {
+        for (s, &r) in self.meter_series.iter_mut().zip(&self.meter_rates) {
             // StepSeries run-length-codes, so repeated zeros cost nothing.
             s.push(now, r);
         }
@@ -432,7 +568,10 @@ mod tests {
     }
 
     fn pfs(cap: f64) -> Pfs {
-        Pfs::new(PfsConfig { write_capacity: cap, read_capacity: cap })
+        Pfs::new(PfsConfig {
+            write_capacity: cap,
+            read_capacity: cap,
+        })
     }
 
     #[test]
@@ -490,7 +629,12 @@ mod tests {
     #[test]
     fn capped_flow_obeys_cap() {
         let mut p = pfs(100.0);
-        let spec = FlowSpec { bytes: 100.0, weight: 1.0, cap: Some(10.0), meter: None };
+        let spec = FlowSpec {
+            bytes: 100.0,
+            weight: 1.0,
+            cap: Some(10.0),
+            meter: None,
+        };
         p.submit(t(0.0), Channel::Write, spec);
         let done = p.advance_to(t(20.0));
         assert!((done[0].0.as_secs() - 10.0).abs() < 1e-9);
@@ -569,12 +713,22 @@ mod tests {
         let a = p.submit(
             t(0.0),
             Channel::Write,
-            FlowSpec { bytes: 300.0, weight: 2.0, cap: None, meter: None },
+            FlowSpec {
+                bytes: 300.0,
+                weight: 2.0,
+                cap: None,
+                meter: None,
+            },
         );
         let b = p.submit(
             t(0.0),
             Channel::Write,
-            FlowSpec { bytes: 300.0, weight: 1.0, cap: None, meter: None },
+            FlowSpec {
+                bytes: 300.0,
+                weight: 1.0,
+                cap: None,
+                meter: None,
+            },
         );
         // a at 80, b at 40. a done at 3.75; then b at 120 with 150 left ->
         // 3.75 + 1.25 = 5.0.
@@ -606,7 +760,12 @@ mod tests {
         p.submit(
             t(0.0),
             Channel::Write,
-            FlowSpec { bytes: 500.0, weight: 1.0, cap: None, meter: Some(m) },
+            FlowSpec {
+                bytes: 500.0,
+                weight: 1.0,
+                cap: None,
+                meter: Some(m),
+            },
         );
         p.submit(t(0.0), Channel::Write, FlowSpec::simple(500.0));
         p.advance_to(t(20.0));
@@ -618,6 +777,65 @@ mod tests {
     #[test]
     fn next_completion_none_when_idle() {
         let p = pfs(100.0);
+        assert_eq!(p.next_completion(), None);
+    }
+
+    #[test]
+    fn completion_index_matches_linear_scan() {
+        let mut p = pfs(100.0);
+        // Mixed state: several group shapes across both channels, with
+        // progress and a cap change between submissions.
+        p.submit_many(t(0.0), Channel::Write, FlowSpec::simple(500.0), 3);
+        p.submit(
+            t(0.0),
+            Channel::Read,
+            FlowSpec {
+                bytes: 900.0,
+                weight: 2.0,
+                cap: Some(30.0),
+                meter: None,
+            },
+        );
+        let capped = p.submit(
+            t(1.0),
+            Channel::Write,
+            FlowSpec {
+                bytes: 400.0,
+                weight: 1.0,
+                cap: Some(20.0),
+                meter: None,
+            },
+        );
+        p.advance_to(t(2.0));
+        p.set_cap(t(2.5), capped, Some(40.0));
+        // The pre-index implementation: linear scan over live groups.
+        let scanned = {
+            let mut best: Option<f64> = None;
+            for ch in &p.channels {
+                for g in &ch.groups {
+                    if g.rate > 0.0 {
+                        let ct = p.now.after(g.remaining / g.rate).as_secs();
+                        best = Some(best.map_or(ct, |b: f64| b.min(ct)));
+                    }
+                }
+            }
+            best
+        };
+        let indexed = p.next_completion().map(|s| s.as_secs());
+        match (indexed, scanned) {
+            // Stored completion times may differ from a rescan by FP noise
+            // accumulated in `remaining`, never more.
+            (Some(a), Some(b)) => assert!((a - b).abs() <= 1e-9 * b.max(1.0), "{a} vs {b}"),
+            (a, b) => assert_eq!(a.is_some(), b.is_some()),
+        }
+        // Draining must terminate, complete everything, in time order.
+        let done = p.advance_to(t(1000.0));
+        assert_eq!(done.len(), 5);
+        assert_eq!(
+            p.active_flows(Channel::Write) + p.active_flows(Channel::Read),
+            0
+        );
+        assert!(done.windows(2).all(|w| w[0].0 <= w[1].0));
         assert_eq!(p.next_completion(), None);
     }
 

@@ -85,7 +85,12 @@ mod tests {
     fn single_flow_matches_analytic() {
         let r = Reference::new(100.0, 0.001);
         let done = r.completion_times(
-            &[RefFlow { arrival: 0.0, bytes: 1000.0, weight: 1.0, cap: None }],
+            &[RefFlow {
+                arrival: 0.0,
+                bytes: 1000.0,
+                weight: 1.0,
+                cap: None,
+            }],
             100.0,
         );
         assert!((done[0] - 10.0).abs() < 0.01);
@@ -96,8 +101,18 @@ mod tests {
         let r = Reference::new(100.0, 0.001);
         let done = r.completion_times(
             &[
-                RefFlow { arrival: 0.0, bytes: 1000.0, weight: 1.0, cap: None },
-                RefFlow { arrival: 5.0, bytes: 250.0, weight: 1.0, cap: None },
+                RefFlow {
+                    arrival: 0.0,
+                    bytes: 1000.0,
+                    weight: 1.0,
+                    cap: None,
+                },
+                RefFlow {
+                    arrival: 5.0,
+                    bytes: 250.0,
+                    weight: 1.0,
+                    cap: None,
+                },
             ],
             100.0,
         );

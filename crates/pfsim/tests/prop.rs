@@ -13,15 +13,20 @@ fn t(s: f64) -> SimTime {
 
 fn arb_flow() -> impl Strategy<Value = RefFlow> {
     (
-        0.0f64..5.0,     // arrival
-        1.0f64..2000.0,  // bytes
+        0.0f64..5.0,    // arrival
+        1.0f64..2000.0, // bytes
         prop_oneof![Just(1.0f64), Just(2.0), Just(4.0)],
         prop_oneof![
             Just(None),
             (5.0f64..150.0).prop_map(Some) // cap
         ],
     )
-        .prop_map(|(arrival, bytes, weight, cap)| RefFlow { arrival, bytes, weight, cap })
+        .prop_map(|(arrival, bytes, weight, cap)| RefFlow {
+            arrival,
+            bytes,
+            weight,
+            cap,
+        })
 }
 
 proptest! {

@@ -6,18 +6,45 @@
 //!
 //! Cancellation is supported through [`EventKey`] tokens: `cancel` is O(1)
 //! (lazy deletion; cancelled entries are skipped on pop).
+//!
+//! Bookkeeping is a generation-stamped slot map rather than hash sets: every
+//! scheduled event borrows a slot (recycled through a free list), and the
+//! [`EventKey`] packs `(slot, generation)`. Cancel and pop are then plain
+//! array probes with no hashing, and memory is bounded by the peak number of
+//! concurrently pending events instead of growing with total events ever
+//! scheduled.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Token identifying a scheduled event, usable to cancel it.
+///
+/// Packs `(slot, generation)`; a key is invalidated as soon as its event is
+/// delivered or cancelled, even if the slot is later recycled.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventKey(u64);
 
+impl EventKey {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventKey((slot as u64) | ((gen as u64) << 32))
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 struct Entry<E> {
     time: SimTime,
+    /// Monotonic tie-breaker: FIFO among same-time events.
     seq: u64,
+    slot: u32,
+    gen: u32,
     payload: E,
 }
 
@@ -43,14 +70,22 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Per-slot state. `pending` is true while the event scheduled under the
+/// current generation has been neither popped nor cancelled.
+#[derive(Clone, Copy)]
+struct Slot {
+    gen: u32,
+    pending: bool,
+}
+
 /// A deterministic time-ordered event queue.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
     /// Scheduled, not yet popped, not cancelled.
-    live: std::collections::HashSet<u64>,
-    /// Cancelled but still physically in the heap (lazy deletion).
-    cancelled: std::collections::HashSet<u64>,
+    live: usize,
     now: SimTime,
 }
 
@@ -63,11 +98,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue pre-sized for `capacity` concurrently pending
+    /// events, avoiding reallocation in the scheduling hot path.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
-            live: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
             now: SimTime::ZERO,
         }
     }
@@ -90,13 +132,34 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                // Recycled slot: bump the generation so stale keys (and stale
+                // heap entries from a cancelled predecessor) no longer match.
+                let s = &mut self.slots[slot as usize];
+                s.gen = s.gen.wrapping_add(1);
+                s.pending = true;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slot count exceeds u32");
+                self.slots.push(Slot {
+                    gen: 0,
+                    pending: true,
+                });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.live += 1;
         self.heap.push(Entry {
             time,
             seq,
+            slot,
+            gen,
             payload,
         });
-        EventKey(seq)
+        EventKey::new(slot, gen)
     }
 
     /// Schedules `payload` after `delay` seconds from now.
@@ -110,21 +173,32 @@ impl<E> EventQueue<E> {
     /// already-delivered or already-cancelled event is a no-op returning
     /// `false`.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if !self.live.remove(&key.0) {
-            return false;
+        match self.slots.get_mut(key.slot() as usize) {
+            Some(s) if s.gen == key.gen() && s.pending => {
+                s.pending = false;
+                self.live -= 1;
+                // The physical heap entry stays behind (lazy deletion) but its
+                // generation no longer matches once the slot is recycled; the
+                // `pending` flag covers the window before recycling.
+                self.free.push(key.slot());
+                true
+            }
+            _ => false,
         }
-        self.cancelled.insert(key.0);
-        true
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            let s = &mut self.slots[entry.slot as usize];
+            if s.gen != entry.gen || !s.pending {
+                // Cancelled (and possibly recycled since): discard.
                 continue;
             }
             debug_assert!(entry.time >= self.now);
-            self.live.remove(&entry.seq);
+            s.pending = false;
+            self.free.push(entry.slot);
+            self.live -= 1;
             self.now = entry.time;
             return Some((entry.time, entry.payload));
         }
@@ -134,20 +208,18 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+            let s = &self.slots[entry.slot as usize];
+            if s.gen == entry.gen && s.pending {
+                return Some(entry.time);
             }
-            return Some(entry.time);
+            self.heap.pop();
         }
         None
     }
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// True if no live events remain.
@@ -240,6 +312,58 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().1, "y");
         assert_eq!(q.len(), 0);
+    }
+
+    /// A key must stay dead after its slot is recycled by a later event:
+    /// cancelling it again must not disturb the new occupant.
+    #[test]
+    fn stale_key_does_not_cancel_recycled_slot() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(t(1.0), "a");
+        assert!(q.cancel(k1));
+        // Reuses k1's slot under a new generation.
+        let k2 = q.schedule(t(2.0), "b");
+        assert!(!q.cancel(k1), "stale key must not hit the recycled slot");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(!q.cancel(k2), "already delivered");
+        assert!(q.is_empty());
+    }
+
+    /// Cancel + reschedule at the same time leaves a stale physical entry
+    /// alongside the live one; the stale entry must be skipped even though it
+    /// references the same slot.
+    #[test]
+    fn stale_heap_entry_on_recycled_slot_is_skipped() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(t(1.0), "old");
+        q.cancel(k);
+        q.schedule(t(1.0), "new");
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        assert_eq!(q.pop().unwrap().1, "new");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    /// Slots are recycled: heavy churn must not grow bookkeeping beyond the
+    /// peak number of concurrently pending events.
+    #[test]
+    fn slot_recycling_bounds_bookkeeping() {
+        let mut q = EventQueue::new();
+        for i in 0..10_000 {
+            let k = q.schedule(t(i as f64 + 1.0), i);
+            if i % 2 == 0 {
+                q.cancel(k);
+            } else {
+                q.pop();
+            }
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.slots.len() <= 2,
+            "churn leaked {} slots (expected peak-bounded)",
+            q.slots.len()
+        );
     }
 
     #[test]

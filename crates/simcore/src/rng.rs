@@ -180,18 +180,23 @@ mod tests {
             let f = noise.factor(&mut rng);
             seen.insert((f * 1e9).round() as i64);
         }
-        assert!(seen.len() <= 5, "expected at most 5 levels, got {}", seen.len());
+        assert!(
+            seen.len() <= 5,
+            "expected at most 5 levels, got {}",
+            seen.len()
+        );
         assert!(seen.len() >= 4, "expected the levels to be exercised");
     }
 
     #[test]
     fn spike_dips_at_expected_rate() {
         let mut rng = stream_rng(0, 5);
-        let noise = Noise::Spike { prob: 0.25, factor: 0.05 };
+        let noise = Noise::Spike {
+            prob: 0.25,
+            factor: 0.05,
+        };
         let n = 10_000;
-        let dips = (0..n)
-            .filter(|_| noise.factor(&mut rng) < 0.5)
-            .count();
+        let dips = (0..n).filter(|_| noise.factor(&mut rng) < 0.5).count();
         let rate = dips as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "dip rate {rate}");
     }

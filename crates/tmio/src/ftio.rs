@@ -112,9 +112,7 @@ pub fn detect_period(
     fft(&mut re, &mut im);
     // Power spectrum over positive frequencies (skip DC).
     let half = n / 2;
-    let power: Vec<f64> = (0..half)
-        .map(|k| re[k] * re[k] + im[k] * im[k])
-        .collect();
+    let power: Vec<f64> = (0..half).map(|k| re[k] * re[k] + im[k] * im[k]).collect();
     let (k_star, p_star) = power
         .iter()
         .enumerate()
@@ -183,7 +181,9 @@ mod tests {
             .collect();
         let mut im = vec![0.0; n];
         fft(&mut re, &mut im);
-        let mags: Vec<f64> = (0..n / 2).map(|k| (re[k].powi(2) + im[k].powi(2)).sqrt()).collect();
+        let mags: Vec<f64> = (0..n / 2)
+            .map(|k| (re[k].powi(2) + im[k].powi(2)).sqrt())
+            .collect();
         let peak = mags
             .iter()
             .enumerate()

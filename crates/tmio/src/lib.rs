@@ -48,8 +48,8 @@ pub mod ftio;
 pub mod online;
 pub mod regions;
 mod report;
-pub mod trace;
 mod strategy;
+pub mod trace;
 mod tracer;
 
 pub use report::{Decomposition, Report};

@@ -124,9 +124,21 @@ mod tests {
     #[test]
     fn matches_offline_sweep_on_fig4_example() {
         let intervals = [
-            Interval { ts: 0.0, te: 4.0, value: 1.0 },
-            Interval { ts: 1.0, te: 6.0, value: 2.0 },
-            Interval { ts: 2.0, te: 8.0, value: 4.0 },
+            Interval {
+                ts: 0.0,
+                te: 4.0,
+                value: 1.0,
+            },
+            Interval {
+                ts: 1.0,
+                te: 6.0,
+                value: 2.0,
+            },
+            Interval {
+                ts: 2.0,
+                te: 8.0,
+                value: 4.0,
+            },
         ];
         let mut agg = OnlineAggregator::new();
         for iv in &intervals {
@@ -204,7 +216,11 @@ mod tests {
             let a = next();
             let d = next() * 0.3 + 0.01;
             let v = next() + 0.1;
-            intervals.push(Interval { ts: a, te: a + d, value: v });
+            intervals.push(Interval {
+                ts: a,
+                te: a + d,
+                value: v,
+            });
         }
         let mut agg = OnlineAggregator::new();
         for iv in &intervals {

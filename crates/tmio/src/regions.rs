@@ -83,9 +83,21 @@ mod tests {
     #[test]
     fn figure4_worked_example() {
         let intervals = [
-            Interval { ts: 0.0, te: 4.0, value: 1.0 },
-            Interval { ts: 1.0, te: 6.0, value: 2.0 },
-            Interval { ts: 2.0, te: 8.0, value: 4.0 },
+            Interval {
+                ts: 0.0,
+                te: 4.0,
+                value: 1.0,
+            },
+            Interval {
+                ts: 1.0,
+                te: 6.0,
+                value: 2.0,
+            },
+            Interval {
+                ts: 2.0,
+                te: 8.0,
+                value: 4.0,
+            },
         ];
         let s = sweep(&intervals);
         assert_eq!(s.value_at(t(0.5)), 1.0);
@@ -109,8 +121,16 @@ mod tests {
     #[test]
     fn disjoint_intervals_do_not_sum() {
         let intervals = [
-            Interval { ts: 0.0, te: 1.0, value: 5.0 },
-            Interval { ts: 2.0, te: 3.0, value: 7.0 },
+            Interval {
+                ts: 0.0,
+                te: 1.0,
+                value: 5.0,
+            },
+            Interval {
+                ts: 2.0,
+                te: 3.0,
+                value: 7.0,
+            },
         ];
         let s = sweep(&intervals);
         assert_eq!(s.value_at(t(0.5)), 5.0);
@@ -123,8 +143,16 @@ mod tests {
     fn touching_intervals_do_not_overlap() {
         // Right-open: [0,2) and [2,4) never coexist.
         let intervals = [
-            Interval { ts: 0.0, te: 2.0, value: 3.0 },
-            Interval { ts: 2.0, te: 4.0, value: 4.0 },
+            Interval {
+                ts: 0.0,
+                te: 2.0,
+                value: 3.0,
+            },
+            Interval {
+                ts: 2.0,
+                te: 4.0,
+                value: 4.0,
+            },
         ];
         let s = sweep(&intervals);
         assert_eq!(s.value_at(t(2.0)), 4.0);
@@ -134,15 +162,27 @@ mod tests {
     #[test]
     fn identical_intervals_stack() {
         let intervals = [
-            Interval { ts: 1.0, te: 2.0, value: 2.5 },
-            Interval { ts: 1.0, te: 2.0, value: 2.5 },
+            Interval {
+                ts: 1.0,
+                te: 2.0,
+                value: 2.5,
+            },
+            Interval {
+                ts: 1.0,
+                te: 2.0,
+                value: 2.5,
+            },
         ];
         assert_eq!(max_region(&intervals), 5.0);
     }
 
     #[test]
     fn zero_length_interval_ignored() {
-        let intervals = [Interval { ts: 1.0, te: 1.0, value: 100.0 }];
+        let intervals = [Interval {
+            ts: 1.0,
+            te: 1.0,
+            value: 100.0,
+        }];
         let s = sweep(&intervals);
         assert_eq!(s.max_value(), 0.0);
     }
@@ -150,9 +190,21 @@ mod tests {
     #[test]
     fn sweep_integral_equals_sum_of_areas() {
         let intervals = [
-            Interval { ts: 0.0, te: 3.0, value: 2.0 },
-            Interval { ts: 1.0, te: 2.0, value: 10.0 },
-            Interval { ts: 2.5, te: 4.0, value: 4.0 },
+            Interval {
+                ts: 0.0,
+                te: 3.0,
+                value: 2.0,
+            },
+            Interval {
+                ts: 1.0,
+                te: 2.0,
+                value: 10.0,
+            },
+            Interval {
+                ts: 2.5,
+                te: 4.0,
+                value: 4.0,
+            },
         ];
         let s = sweep(&intervals);
         let expected: f64 = intervals.iter().map(|iv| (iv.te - iv.ts) * iv.value).sum();

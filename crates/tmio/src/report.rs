@@ -89,7 +89,11 @@ impl Report {
         let iv: Vec<Interval> = self
             .phases
             .iter()
-            .map(|p| Interval { ts: p.ts, te: p.te, value: p.b_required })
+            .map(|p| Interval {
+                ts: p.ts,
+                te: p.te,
+                value: p.b_required,
+            })
             .collect();
         sweep(&iv)
     }
@@ -101,8 +105,11 @@ impl Report {
             .phases
             .iter()
             .filter_map(|p| {
-                p.limit_during
-                    .map(|l| Interval { ts: p.ts, te: p.te, value: l })
+                p.limit_during.map(|l| Interval {
+                    ts: p.ts,
+                    te: p.te,
+                    value: l,
+                })
             })
             .collect();
         sweep(&iv)
@@ -114,7 +121,11 @@ impl Report {
         let iv: Vec<Interval> = self
             .windows
             .iter()
-            .map(|w| Interval { ts: w.start, te: w.end, value: w.throughput() })
+            .map(|w| Interval {
+                ts: w.start,
+                te: w.end,
+                value: w.throughput(),
+            })
             .collect();
         sweep(&iv)
     }
@@ -178,7 +189,12 @@ impl Report {
     /// `total = app + post` and `peri` is already inside `app`.
     pub fn overhead_split(&self) -> (f64, f64, f64, f64) {
         let app = self.makespan();
-        (app, self.peri_overhead, self.post_overhead, app + self.post_overhead)
+        (
+            app,
+            self.peri_overhead,
+            self.post_overhead,
+            app + self.post_overhead,
+        )
     }
 
     /// Serializes to the JSON trace format (the file the real TMIO writes at
@@ -226,7 +242,12 @@ mod tests {
                     n_requests: 1,
                 },
             ],
-            windows: vec![ThroughputWindow { rank: 0, start: 0.0, end: 1.0, bytes: 200.0 }],
+            windows: vec![ThroughputWindow {
+                rank: 0,
+                start: 0.0,
+                end: 1.0,
+                bytes: 200.0,
+            }],
             spans: vec![AsyncSpan {
                 rank: 0,
                 submit: 0.0,

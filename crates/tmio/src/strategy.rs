@@ -165,8 +165,14 @@ mod tests {
     #[test]
     fn direct_scales_by_tol() {
         let mut s = StrategyState::default();
-        assert_eq!(s.next_limit(Strategy::Direct { tol: 2.0 }, 100e6), Some(200e6));
-        assert_eq!(s.next_limit(Strategy::Direct { tol: 2.0 }, 50e6), Some(100e6));
+        assert_eq!(
+            s.next_limit(Strategy::Direct { tol: 2.0 }, 100e6),
+            Some(200e6)
+        );
+        assert_eq!(
+            s.next_limit(Strategy::Direct { tol: 2.0 }, 50e6),
+            Some(100e6)
+        );
     }
 
     #[test]
@@ -183,7 +189,10 @@ mod tests {
 
     #[test]
     fn adaptive_tracks_changes() {
-        let st = Strategy::Adaptive { tol: 1.1, tol_i: 0.5 };
+        let st = Strategy::Adaptive {
+            tol: 1.1,
+            tol_i: 0.5,
+        };
         let mut s = StrategyState::default();
         let l1 = s.next_limit(st, 100.0e6).unwrap();
         assert!((l1 - 110.0e6).abs() < 1.0, "first phase has no diff term");
@@ -197,11 +206,14 @@ mod tests {
 
     #[test]
     fn adaptive_anti_windup_clamps_undershoot() {
-        let st = Strategy::Adaptive { tol: 1.1, tol_i: 0.5 };
+        let st = Strategy::Adaptive {
+            tol: 1.1,
+            tol_i: 0.5,
+        };
         let mut s = StrategyState::default();
         s.next_limit(st, 12.7e6); // read-window B
-        // Write-window B much lower: raw formula would go negative
-        // (3.8·1.1 + (3.8−12.7)·0.5 = −0.27 MB/s) — must clamp to B.
+                                  // Write-window B much lower: raw formula would go negative
+                                  // (3.8·1.1 + (3.8−12.7)·0.5 = −0.27 MB/s) — must clamp to B.
         let l = s.next_limit(st, 3.8e6).unwrap();
         assert!((l - 3.8e6).abs() < 1.0, "clamped limit {l}");
         assert!(l > LIMIT_FLOOR);
@@ -240,7 +252,14 @@ mod tests {
         assert_eq!(Strategy::None.name(), "none");
         assert_eq!(Strategy::Direct { tol: 1.0 }.name(), "direct");
         assert_eq!(Strategy::UpOnly { tol: 1.0 }.name(), "up-only");
-        assert_eq!(Strategy::Adaptive { tol: 1.0, tol_i: 0.0 }.name(), "adaptive");
+        assert_eq!(
+            Strategy::Adaptive {
+                tol: 1.0,
+                tol_i: 0.0
+            }
+            .name(),
+            "adaptive"
+        );
         assert_eq!(Strategy::Mfu { tol: 1.0, bins: 8 }.name(), "mfu");
     }
 
@@ -249,7 +268,13 @@ mod tests {
         let mut a = StrategyState::default();
         let mut d = StrategyState::default();
         for b in [10e6, 50e6, 30e6, 90e6] {
-            let la = a.next_limit(Strategy::Adaptive { tol: 1.3, tol_i: 0.0 }, b);
+            let la = a.next_limit(
+                Strategy::Adaptive {
+                    tol: 1.3,
+                    tol_i: 0.0,
+                },
+                b,
+            );
             let ld = d.next_limit(Strategy::Direct { tol: 1.3 }, b);
             assert_eq!(la, ld);
         }

@@ -95,7 +95,10 @@ pub struct TraceLog<H: IoHooks> {
 impl<H: IoHooks> TraceLog<H> {
     /// Wraps `inner`, recording all events that pass through.
     pub fn new(inner: H) -> Self {
-        TraceLog { inner, entries: Vec::new() }
+        TraceLog {
+            inner,
+            entries: Vec::new(),
+        }
     }
 
     /// The recorded entries in chronological order.
@@ -126,7 +129,10 @@ impl<H: IoHooks> TraceLog<H> {
     }
 
     fn push(&mut self, t: SimTime, event: TraceEvent) {
-        self.entries.push(TraceEntry { t: t.as_secs(), event });
+        self.entries.push(TraceEntry {
+            t: t.as_secs(),
+            event,
+        });
     }
 }
 
@@ -140,13 +146,17 @@ impl<H: IoHooks> IoHooks for TraceLog<H> {
         channel: Channel,
         limits: &mut Limits,
     ) -> f64 {
-        self.push(t, TraceEvent::AsyncSubmit {
-            rank,
-            tag: tag.0,
-            bytes,
-            write: channel == Channel::Write,
-        });
-        self.inner.on_async_submit(t, rank, tag, bytes, channel, limits)
+        self.push(
+            t,
+            TraceEvent::AsyncSubmit {
+                rank,
+                tag: tag.0,
+                bytes,
+                write: channel == Channel::Write,
+            },
+        );
+        self.inner
+            .on_async_submit(t, rank, tag, bytes, channel, limits)
     }
 
     fn on_request_complete(&mut self, t: SimTime, rank: usize, tag: ReqTag) {
@@ -162,7 +172,14 @@ impl<H: IoHooks> IoHooks for TraceLog<H> {
         already_done: bool,
         limits: &mut Limits,
     ) -> f64 {
-        self.push(t, TraceEvent::WaitEnter { rank, tag: tag.0, already_done });
+        self.push(
+            t,
+            TraceEvent::WaitEnter {
+                rank,
+                tag: tag.0,
+                already_done,
+            },
+        );
         self.inner.on_wait_enter(t, rank, tag, already_done, limits)
     }
 
@@ -179,7 +196,14 @@ impl<H: IoHooks> IoHooks for TraceLog<H> {
         channel: Channel,
         limits: &mut Limits,
     ) -> f64 {
-        self.push(t, TraceEvent::SyncBegin { rank, bytes, write: channel == Channel::Write });
+        self.push(
+            t,
+            TraceEvent::SyncBegin {
+                rank,
+                bytes,
+                write: channel == Channel::Write,
+            },
+        );
         self.inner.on_sync_begin(t, rank, bytes, channel, limits)
     }
 
@@ -203,7 +227,14 @@ impl<H: IoHooks> IoHooks for TraceLog<H> {
         done: bool,
         limits: &mut Limits,
     ) -> f64 {
-        self.push(t, TraceEvent::Test { rank, tag: tag.0, done });
+        self.push(
+            t,
+            TraceEvent::Test {
+                rank,
+                tag: tag.0,
+                done,
+            },
+        );
         self.inner.on_test(t, rank, tag, done, limits)
     }
 
@@ -221,11 +252,18 @@ mod tests {
 
     fn run_traced() -> TraceLog<Tracer> {
         let ops = vec![
-            Op::IWrite { file: FileId(0), bytes: 1e6, tag: ReqTag(0) },
+            Op::IWrite {
+                file: FileId(0),
+                bytes: 1e6,
+                tag: ReqTag(0),
+            },
             Op::Compute { seconds: 0.1 },
             Op::Test { tag: ReqTag(0) },
             Op::Wait { tag: ReqTag(0) },
-            Op::Write { file: FileId(0), bytes: 1e6 },
+            Op::Write {
+                file: FileId(0),
+                bytes: 1e6,
+            },
         ];
         let log = TraceLog::new(Tracer::new(1, TracerConfig::trace_only()));
         let mut w = World::new(WorldConfig::new(1), vec![Program::from_ops(ops)], log);
@@ -293,6 +331,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(test_events, vec![true], "I/O done before the 0.1 s window ends");
+        assert_eq!(
+            test_events,
+            vec![true],
+            "I/O done before the 0.1 s window ends"
+        );
     }
 }

@@ -56,7 +56,11 @@ pub struct PostOverheadModel {
 
 impl Default for PostOverheadModel {
     fn default() -> Self {
-        PostOverheadModel { base: 0.02, latency: 1e-4, per_rank: 250e-6 }
+        PostOverheadModel {
+            base: 0.02,
+            latency: 1e-4,
+            per_rank: 250e-6,
+        }
     }
 }
 
@@ -97,7 +101,10 @@ impl TracerConfig {
 
     /// Paper-default configuration with the given strategy.
     pub fn with_strategy(strategy: Strategy) -> Self {
-        TracerConfig { strategy, ..Self::trace_only() }
+        TracerConfig {
+            strategy,
+            ..Self::trace_only()
+        }
     }
 }
 
@@ -310,7 +317,10 @@ impl Tracer {
             Aggregation::Sum => b_sum,
             Aggregation::Mean => b_sum / n as f64,
         };
-        let limit_during = rt.strategy.current_limit().filter(|_| cfg.strategy.limits());
+        let limit_during = rt
+            .strategy
+            .current_limit()
+            .filter(|_| cfg.strategy.limits());
         let limit_next = rt.strategy.next_limit(cfg.strategy, b);
         if let Some(l) = limit_next {
             limits.set(rank, Some(l));
@@ -378,7 +388,13 @@ impl IoHooks for Tracer {
         rt.tq_bytes += bytes;
         self.open_spans.insert(
             (rank, tag.0),
-            OpenSpan { submit: t, complete: None, wait_enter: None, bytes, channel },
+            OpenSpan {
+                submit: t,
+                complete: None,
+                wait_enter: None,
+                bytes,
+                channel,
+            },
         );
         self.call_overhead()
     }
@@ -420,11 +436,7 @@ impl IoHooks for Tracer {
                 if rt.queue.iter().any(|p| p.tag == tag) {
                     rt.waited.push(tag);
                 }
-                !rt.queue.is_empty()
-                    && rt
-                        .queue
-                        .iter()
-                        .all(|p| rt.waited.contains(&p.tag))
+                !rt.queue.is_empty() && rt.queue.iter().all(|p| rt.waited.contains(&p.tag))
             }
         };
         if close {

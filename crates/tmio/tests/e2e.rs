@@ -10,9 +10,15 @@ const MB: f64 = 1e6;
 fn periodic_app(loops: usize, bytes: f64, compute: f64) -> Program {
     let mut ops = Vec::new();
     for i in 0..loops {
-        ops.push(Op::IWrite { file: FileId(0), bytes, tag: ReqTag(i as u32) });
+        ops.push(Op::IWrite {
+            file: FileId(0),
+            bytes,
+            tag: ReqTag(i as u32),
+        });
         ops.push(Op::Compute { seconds: compute });
-        ops.push(Op::Wait { tag: ReqTag(i as u32) });
+        ops.push(Op::Wait {
+            tag: ReqTag(i as u32),
+        });
     }
     Program::from_ops(ops)
 }
@@ -27,7 +33,10 @@ fn run_app(
     limiter: bool,
 ) -> (mpisim::RunSummary, tmio::Report) {
     let mut wc = WorldConfig::new(n).with_limiter(limiter);
-    wc.pfs = PfsConfig { write_capacity: cap, read_capacity: cap };
+    wc.pfs = PfsConfig {
+        write_capacity: cap,
+        read_capacity: cap,
+    };
     wc.subreq_bytes = MB;
     // Zero tool overhead keeps the timing assertions exact.
     let mut tcfg = cfg;
@@ -59,7 +68,15 @@ fn required_bandwidth_matches_analytic() {
 #[test]
 fn throughput_reflects_actual_speed() {
     // Unthrottled on a 100 MB/s channel: T ≈ 100 MB/s >> B = 10 MB/s.
-    let (_, report) = run_app(1, 100.0 * MB, 3, 10.0 * MB, 1.0, TracerConfig::trace_only(), false);
+    let (_, report) = run_app(
+        1,
+        100.0 * MB,
+        3,
+        10.0 * MB,
+        1.0,
+        TracerConfig::trace_only(),
+        false,
+    );
     assert_eq!(report.windows.len(), 3);
     for w in &report.windows {
         assert!(
@@ -75,7 +92,11 @@ fn direct_strategy_throttles_next_phase() {
     let cfg = TracerConfig::with_strategy(Strategy::Direct { tol: 1.1 });
     let (s, report) = run_app(1, 100.0 * MB, 5, 10.0 * MB, 1.0, cfg, true);
     // Runtime unchanged: I/O still fits the window (10 MB at 11 MB/s < 1 s).
-    assert!((s.makespan() - 5.0).abs() < 0.02, "makespan {}", s.makespan());
+    assert!(
+        (s.makespan() - 5.0).abs() < 0.02,
+        "makespan {}",
+        s.makespan()
+    );
     assert!(s.accounting[0].wait_write < 1e-6, "no lost time expected");
     // Phases after the first are throttled: T ≈ limit = B·tol ≈ 11 MB/s.
     let later: Vec<_> = report.windows.iter().skip(1).collect();
@@ -96,7 +117,15 @@ fn direct_strategy_throttles_next_phase() {
 
 #[test]
 fn limiting_flattens_burst_without_slowdown() {
-    let base = run_app(1, 100.0 * MB, 6, 20.0 * MB, 1.0, TracerConfig::trace_only(), false);
+    let base = run_app(
+        1,
+        100.0 * MB,
+        6,
+        20.0 * MB,
+        1.0,
+        TracerConfig::trace_only(),
+        false,
+    );
     let cfg = TracerConfig::with_strategy(Strategy::Direct { tol: 1.2 });
     let lim = run_app(1, 100.0 * MB, 6, 20.0 * MB, 1.0, cfg, true);
     // Same runtime (within 2%)…
@@ -169,14 +198,27 @@ fn aggregation_mean_vs_sum() {
     let mk = |agg| {
         let mut ops = Vec::new();
         for i in 0..2u32 {
-            ops.push(Op::IWrite { file: FileId(0), bytes: 10.0 * MB, tag: ReqTag(2 * i) });
-            ops.push(Op::IWrite { file: FileId(0), bytes: 10.0 * MB, tag: ReqTag(2 * i + 1) });
+            ops.push(Op::IWrite {
+                file: FileId(0),
+                bytes: 10.0 * MB,
+                tag: ReqTag(2 * i),
+            });
+            ops.push(Op::IWrite {
+                file: FileId(0),
+                bytes: 10.0 * MB,
+                tag: ReqTag(2 * i + 1),
+            });
             ops.push(Op::Compute { seconds: 1.0 });
             ops.push(Op::Wait { tag: ReqTag(2 * i) });
-            ops.push(Op::Wait { tag: ReqTag(2 * i + 1) });
+            ops.push(Op::Wait {
+                tag: ReqTag(2 * i + 1),
+            });
         }
         let mut wc = WorldConfig::new(1);
-        wc.pfs = PfsConfig { write_capacity: 1e9, read_capacity: 1e9 };
+        wc.pfs = PfsConfig {
+            write_capacity: 1e9,
+            read_capacity: 1e9,
+        };
         let mut tc = TracerConfig::trace_only();
         tc.aggregation = agg;
         tc.peri_call_overhead = 0.0;
@@ -189,7 +231,10 @@ fn aggregation_mean_vs_sum() {
     let mean = mk(Aggregation::Mean);
     let b_sum = sum.phases[0].b_required;
     let b_mean = mean.phases[0].b_required;
-    assert!((b_sum / b_mean - 2.0).abs() < 1e-6, "sum {b_sum} vs mean {b_mean}");
+    assert!(
+        (b_sum / b_mean - 2.0).abs() < 1e-6,
+        "sum {b_sum} vs mean {b_mean}"
+    );
 }
 
 #[test]
@@ -197,8 +242,16 @@ fn te_mode_last_wait_gives_lower_b() {
     // Two requests waited at different times: FirstWait closes at the first
     // wait (shorter window -> higher B) than LastWait.
     let ops = vec![
-        Op::IWrite { file: FileId(0), bytes: 10.0 * MB, tag: ReqTag(0) },
-        Op::IWrite { file: FileId(0), bytes: 10.0 * MB, tag: ReqTag(1) },
+        Op::IWrite {
+            file: FileId(0),
+            bytes: 10.0 * MB,
+            tag: ReqTag(0),
+        },
+        Op::IWrite {
+            file: FileId(0),
+            bytes: 10.0 * MB,
+            tag: ReqTag(1),
+        },
         Op::Compute { seconds: 1.0 },
         Op::Wait { tag: ReqTag(0) },
         Op::Compute { seconds: 1.0 },
@@ -206,7 +259,10 @@ fn te_mode_last_wait_gives_lower_b() {
     ];
     let run = |mode| {
         let mut wc = WorldConfig::new(1);
-        wc.pfs = PfsConfig { write_capacity: 1e9, read_capacity: 1e9 };
+        wc.pfs = PfsConfig {
+            write_capacity: 1e9,
+            read_capacity: 1e9,
+        };
         let mut tc = TracerConfig::trace_only();
         tc.te_mode = mode;
         tc.peri_call_overhead = 0.0;
@@ -232,7 +288,10 @@ fn peri_overhead_counts_calls() {
     let mut tc = TracerConfig::trace_only();
     tc.peri_call_overhead = 2e-6;
     let mut wc = WorldConfig::new(1);
-    wc.pfs = PfsConfig { write_capacity: 1e9, read_capacity: 1e9 };
+    wc.pfs = PfsConfig {
+        write_capacity: 1e9,
+        read_capacity: 1e9,
+    };
     let tracer = Tracer::new(1, tc);
     let mut w = World::new(wc, vec![periodic_app(10, MB, 0.01)], tracer);
     w.create_file("out");
@@ -262,10 +321,16 @@ fn exploit_dominates_when_hidden() {
 fn sync_app_has_no_async_records() {
     let ops = vec![
         Op::Compute { seconds: 1.0 },
-        Op::Write { file: FileId(0), bytes: 10.0 * MB },
+        Op::Write {
+            file: FileId(0),
+            bytes: 10.0 * MB,
+        },
     ];
     let mut wc = WorldConfig::new(2);
-    wc.pfs = PfsConfig { write_capacity: 100.0 * MB, read_capacity: 100.0 * MB };
+    wc.pfs = PfsConfig {
+        write_capacity: 100.0 * MB,
+        read_capacity: 100.0 * MB,
+    };
     let tc = TracerConfig::trace_only();
     let mut w = World::new(wc, vec![Program::from_ops(ops); 2], Tracer::new(2, tc));
     w.create_file("out");
@@ -282,16 +347,26 @@ fn sync_app_has_no_async_records() {
 fn poll_wait_closes_tracer_phase_at_first_probe() {
     use mpisim::{FileId, Op, Program, ReqTag, World};
     const MB: f64 = 1e6;
-    
+
     let ops = vec![
-        Op::IWrite { file: FileId(0), bytes: 100.0 * MB, tag: ReqTag(0) },
+        Op::IWrite {
+            file: FileId(0),
+            bytes: 100.0 * MB,
+            tag: ReqTag(0),
+        },
         Op::Compute { seconds: 0.5 },
-        Op::PollWait { tag: ReqTag(0), interval: 0.01 },
+        Op::PollWait {
+            tag: ReqTag(0),
+            interval: 0.01,
+        },
     ];
     let mut tc = TracerConfig::trace_only();
     tc.peri_call_overhead = 0.0;
     let mut wc = WorldConfig::new(1);
-    wc.pfs = PfsConfig { write_capacity: 100.0 * MB, read_capacity: 100.0 * MB };
+    wc.pfs = PfsConfig {
+        write_capacity: 100.0 * MB,
+        read_capacity: 100.0 * MB,
+    };
     let mut w = World::new(wc, vec![Program::from_ops(ops)], Tracer::new(1, tc));
     w.create_file("f");
     w.run();
@@ -310,9 +385,16 @@ fn poll_wait_closes_tracer_phase_at_first_probe() {
 fn ftio_detects_hacc_loop_period() {
     // 12 loops of (iwrite 20 MB, compute 2.0 s, wait): period ≈ 2.0 s.
     let mut wc = WorldConfig::new(4);
-    wc.pfs = PfsConfig { write_capacity: 500.0 * MB, read_capacity: 500.0 * MB };
+    wc.pfs = PfsConfig {
+        write_capacity: 500.0 * MB,
+        read_capacity: 500.0 * MB,
+    };
     let tc = TracerConfig::trace_only();
-    let mut w = World::new(wc, vec![periodic_app(12, 20.0 * MB, 2.0); 4], Tracer::new(4, tc));
+    let mut w = World::new(
+        wc,
+        vec![periodic_app(12, 20.0 * MB, 2.0); 4],
+        Tracer::new(4, tc),
+    );
     w.create_file("out");
     let s = w.run();
     let series = w.pfs_series(mpisim::Channel::Write).clone();

@@ -14,7 +14,11 @@ fn main() {
     let particles: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let loops: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
 
-    let hacc = HaccConfig { particles_per_rank: particles, loops, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: particles,
+        loops,
+        ..Default::default()
+    };
     println!(
         "=== HACC-IO: {ranks} ranks × {particles} particles × {loops} loops \
          ({:.1} MB per rank per loop) ===\n",
@@ -32,7 +36,10 @@ fn main() {
     let strategies = [
         Strategy::Direct { tol: 1.1 },
         Strategy::UpOnly { tol: 1.1 },
-        Strategy::Adaptive { tol: 1.1, tol_i: 0.5 },
+        Strategy::Adaptive {
+            tol: 1.1,
+            tol_i: 0.5,
+        },
         Strategy::None,
     ];
 

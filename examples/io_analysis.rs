@@ -11,14 +11,17 @@ use pfsim::BurstBufferConfig;
 use tmio::ftio;
 
 fn main() {
-    let hacc = HaccConfig { particles_per_rank: 500_000, loops: 12, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: 500_000,
+        loops: 12,
+        ..Default::default()
+    };
 
     // ------------------------------------------------------------------
     // 1. FTIO: detect the application's I/O period from the PFS signal.
     println!("=== FTIO period detection (HACC-IO, 16 ranks, 12 loops) ===");
     let out = run_hacc(&ExpConfig::new(16, Strategy::None), &hacc);
-    let loop_period = hacc.compute_seconds() + hacc.verify_seconds()
-        + hacc.data_bytes() / 10e9; // + memcpy
+    let loop_period = hacc.compute_seconds() + hacc.verify_seconds() + hacc.data_bytes() / 10e9; // + memcpy
     match ftio::detect_period(&out.pfs_write, 0.0, out.app_time(), 2048) {
         Some(est) => {
             println!(
@@ -33,7 +36,11 @@ fn main() {
     // 2. Burst buffer: the future-work required-bandwidth definition for
     //    synchronous I/O.
     println!("\n=== burst-buffer tier for the synchronous HACC-IO baseline ===");
-    let bb = BurstBufferConfig { size_bytes: 4e9, absorb_rate: 5e9, drain_rate: 1e9 };
+    let bb = BurstBufferConfig {
+        size_bytes: 4e9,
+        absorb_rate: 5e9,
+        drain_rate: 1e9,
+    };
     let burst = hacc.data_bytes();
     let period = hacc.compute_seconds() + hacc.verify_seconds();
     println!(
@@ -45,7 +52,10 @@ fn main() {
         sustainable(burst, period, &bb),
     );
     let mut direct = ExpConfig::new(16, Strategy::None);
-    direct.pfs = pfsim::PfsConfig { write_capacity: 1e9, read_capacity: 1e9 };
+    direct.pfs = pfsim::PfsConfig {
+        write_capacity: 1e9,
+        read_capacity: 1e9,
+    };
     let mut buffered = direct;
     buffered.burst_buffer = Some(bb);
     let d = run_hacc_sync(&direct, &hacc);

@@ -49,7 +49,10 @@ fn main() {
     );
 
     println!("\nrank 0 phases (Fig. 3 view):");
-    println!("{:>5} {:>10} {:>10} {:>14} {:>14}", "phase", "ts [s]", "te [s]", "B [MB/s]", "limit [MB/s]");
+    println!(
+        "{:>5} {:>10} {:>10} {:>14} {:>14}",
+        "phase", "ts [s]", "te [s]", "B [MB/s]", "limit [MB/s]"
+    );
     for p in report.phases.iter().filter(|p| p.rank == 0) {
         println!(
             "{:>5} {:>10.4} {:>10.4} {:>14.1} {:>14}",
@@ -65,8 +68,10 @@ fn main() {
 
     let d = report.decomposition();
     let pct = d.percentages();
-    println!("\ntime split: {:.1}% async-write exploit, {:.1}% lost in waits, {:.1}% compute (I/O free)",
-        pct[4], pct[2], pct[6]);
+    println!(
+        "\ntime split: {:.1}% async-write exploit, {:.1}% lost in waits, {:.1}% compute (I/O free)",
+        pct[4], pct[2], pct[6]
+    );
 
     println!("\nThe throughput of phase j+1 follows the limit computed from phase j:");
     for w in report.windows.iter().filter(|w| w.rank == 0).take(4) {

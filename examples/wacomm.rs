@@ -28,20 +28,23 @@ fn main() {
         println!("  hour {hour}: mean pollutant health {health:.4}");
     }
     let bytes = kernel::serialize(&particles);
-    println!("  per-iteration output: {:.2} MB\n", bytes.len() as f64 / 1e6);
+    println!(
+        "  per-iteration output: {:.2} MB\n",
+        bytes.len() as f64 / 1e6
+    );
 
     // --- The I/O study (Figs. 8/9): same schedule at full particle count.
-    let wc = WacommConfig { iterations, ..Default::default() };
+    let wc = WacommConfig {
+        iterations,
+        ..Default::default()
+    };
     println!(
         "=== WaComM-like run: {ranks} ranks, {iterations} iterations, \
          2e6 particles total ===\n"
     );
 
     let none = run_wacomm(&ExpConfig::new(ranks, Strategy::None), &wc);
-    let uponly = run_wacomm(
-        &ExpConfig::new(ranks, Strategy::UpOnly { tol: 1.1 }),
-        &wc,
-    );
+    let uponly = run_wacomm(&ExpConfig::new(ranks, Strategy::UpOnly { tol: 1.1 }), &wc);
     let direct = run_wacomm(&ExpConfig::new(ranks, Strategy::Direct { tol: 2.0 }), &wc);
 
     println!(

@@ -1,0 +1,200 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace uses.
+//!
+//! Keeps the macro and builder surface (`criterion_group!`,
+//! `criterion_main!`, `bench_function`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`) but replaces the statistics engine
+//! with a simple calibrated-loop timer that prints mean ns/iter.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export for benches that import it from criterion rather than std.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many measured samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (`group/bench` naming).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with a fixed `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Benchmarks a closure under this group's name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Marks the group complete.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark inside a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<N: fmt::Display, P: fmt::Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only the parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            mean_ns: None,
+        }
+    }
+
+    /// Times `f`, storing the mean over `samples` timed runs after warmup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and per-sample iteration calibration: aim for samples that
+        // are long enough to time (≥ ~1ms) without rerunning slow workloads
+        // excessively.
+        let warm_start = Instant::now();
+        black_box(f());
+        let once = warm_start.elapsed().as_secs_f64();
+        let iters_per_sample = if once > 1e-3 {
+            1
+        } else {
+            ((1e-3 / once.max(1e-9)) as usize).clamp(1, 1_000_000)
+        };
+        let samples = if once > 0.25 {
+            3.min(self.samples)
+        } else {
+            self.samples
+        };
+        let mut total = 0.0;
+        let mut total_iters = 0usize;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            total += t0.elapsed().as_secs_f64();
+            total_iters += iters_per_sample;
+        }
+        self.mean_ns = Some(total / total_iters as f64 * 1e9);
+    }
+
+    fn report(&self, name: &str) {
+        match self.mean_ns {
+            Some(ns) => println!("bench: {name:<50} {:>14.1} ns/iter", ns),
+            None => println!("bench: {name:<50} (no measurement)"),
+        }
+    }
+}
+
+/// Declares a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_something() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! bounded MPMC-ish channels. Implemented over `std::sync::mpsc`'s
+//! `sync_channel`, which matches the blocking-send semantics the
+//! virtual-time thread bridge relies on (including rendezvous at cap 0).
+
+/// Bounded blocking channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel; `send` blocks when full.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is accepted or the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn rendezvous_and_buffered() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+
+        let (tx0, rx0) = channel::bounded::<u32>(0);
+        let h = std::thread::spawn(move || tx0.send(42).unwrap());
+        assert_eq!(rx0.recv().unwrap(), 42);
+        h.join().unwrap();
+    }
+}

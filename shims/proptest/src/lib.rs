@@ -1,0 +1,281 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Differences from the real crate: no shrinking, no persisted failure
+//! seeds. Case generation is fully deterministic — the RNG for case `k` of
+//! test `t` is derived from `hash(t) ^ k` — so a failing case reproduces
+//! exactly on re-run, and the printed inputs identify it.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Mirrors `proptest::test_runner::ProptestConfig` (cases knob only).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngCore};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            // Finite, mixed-magnitude values; real proptest is wilder but
+            // nothing in this workspace relies on NaN/inf generation.
+            let m = rng.gen::<f64>() * 2.0 - 1.0;
+            let e = rng.gen_range(-60i32..60) as f64;
+            m * e.exp2()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// `prop::collection` strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::option` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about 25% of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            if rng.gen::<f64>() < 0.25 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Derives the deterministic RNG for one test case. Public only for the
+/// `proptest!` macro expansion.
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u64) -> SmallRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Declares property tests. Supports the `#![proptest_config(..)]` header
+/// and `fn name(pat in strategy, ...) { body }` items, like the real crate.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::__case_rng(stringify!($name), __case as u64);
+                let __vals = ( $( $crate::Strategy::generate(&($strat), &mut __rng), )+ );
+                let __desc = format!("{:?}", __vals);
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let ( $($pat,)+ ) = __vals;
+                        $body
+                    }),
+                );
+                if let ::std::result::Result::Err(__e) = __result {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} with inputs {}",
+                        stringify!($name), __case, __cfg.cases, __desc
+                    );
+                    ::std::panic::resume_unwind(__e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( ($cfg:expr) ) => {};
+}
+
+/// Asserts inside a property body (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property body (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property body (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among boxed strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+/// Everything a test file normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced re-exports (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_oneof(pair in (0.0f64..1.0, prop_oneof![Just(1u8), Just(2)]),
+                            flag in any::<bool>()) {
+            let (x, k) = pair;
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(k == 1 || k == 2);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = crate::collection::vec(0u64..1000, 1..10);
+        let a = s.generate(&mut crate::__case_rng("t", 3));
+        let b = s.generate(&mut crate::__case_rng("t", 3));
+        assert_eq!(a, b);
+    }
+}

@@ -52,7 +52,10 @@ impl ExpConfig {
             n_ranks,
             strategy,
             seed: 2024,
-            compute_noise: Noise::QuantizedRel { amplitude: 0.03, levels: 8 },
+            compute_noise: Noise::QuantizedRel {
+                amplitude: 0.03,
+                levels: 8,
+            },
             pfs: PfsConfig::default(),
             subreq_bytes: 1024.0 * 1024.0,
             capacity_noise: None,
@@ -134,7 +137,12 @@ fn run_programs(cfg: &ExpConfig, programs: Vec<Program>, files: &[&str]) -> RunO
         Tracer::new(0, TracerConfig::trace_only()),
     )
     .into_report();
-    RunOutput { summary, report, pfs_write, pfs_read }
+    RunOutput {
+        summary,
+        report,
+        pfs_write,
+        pfs_read,
+    }
 }
 
 /// Runs the modified HACC-IO benchmark (Fig. 12 structure). Each rank

@@ -95,7 +95,12 @@ impl Opts {
 
     fn strategy(&self) -> Result<Strategy, String> {
         let tol: f64 = self.get("tol", 1.1)?;
-        match self.0.get("strategy").map(|s| s.as_str()).unwrap_or("direct") {
+        match self
+            .0
+            .get("strategy")
+            .map(|s| s.as_str())
+            .unwrap_or("direct")
+        {
             "none" => Ok(Strategy::None),
             "direct" => Ok(Strategy::Direct { tol }),
             "up-only" | "uponly" => Ok(Strategy::UpOnly { tol }),
@@ -130,17 +135,33 @@ fn print_summary(out: &RunOutput) {
     let report = &out.report;
     let d = report.decomposition();
     let pct = d.percentages();
-    println!("runtime            : {:>10.3} s (app) + {:.3} s post overhead", out.app_time(), report.post_overhead);
-    println!("required bandwidth : {:>10.1} MB/s (app level, max over regions)", report.required_bandwidth() / 1e6);
+    println!(
+        "runtime            : {:>10.3} s (app) + {:.3} s post overhead",
+        out.app_time(),
+        report.post_overhead
+    );
+    println!(
+        "required bandwidth : {:>10.1} MB/s (app level, max over regions)",
+        report.required_bandwidth() / 1e6
+    );
     if let Some(t) = report.limit_start_time() {
         println!("limiter engaged at : {t:>10.3} s");
     }
     println!("phases traced      : {:>10}", report.phases.len());
-    println!("intercepted calls  : {:>10}  (peri overhead {:.3} ms)", report.calls, report.peri_overhead * 1e3);
+    println!(
+        "intercepted calls  : {:>10}  (peri overhead {:.3} ms)",
+        report.calls,
+        report.peri_overhead * 1e3
+    );
     println!("\ntime split (% of total rank-time):");
     let labels = [
-        "sync write", "sync read", "async write lost", "async read lost",
-        "async write exploit", "async read exploit", "compute (I/O free)",
+        "sync write",
+        "sync read",
+        "async write lost",
+        "async read lost",
+        "async write exploit",
+        "async read exploit",
+        "compute (I/O free)",
     ];
     for (l, p) in labels.iter().zip(pct) {
         if p > 0.005 {
@@ -204,14 +225,24 @@ fn cmd_cluster(opts: &Opts) -> Result<(), String> {
         "cluster: {} nodes, PFS {:.0} GB/s, 8 jobs, job 4 async, limit {}\n",
         cfg.nodes,
         cfg.pfs.write_capacity / 1e9,
-        if limit { "ON (during contention)" } else { "off" }
+        if limit {
+            "ON (during contention)"
+        } else {
+            "off"
+        }
     );
     let r = Cluster::new(cfg, jobs).run();
-    println!("{:<6} {:>6} {:>10} {:>10} {:>10}", "job", "nodes", "start", "end", "runtime");
+    println!(
+        "{:<6} {:>6} {:>10} {:>10} {:>10}",
+        "job", "nodes", "start", "end", "runtime"
+    );
     for j in &r.jobs {
         println!(
             "{:<6} {:>6} {:>10.1} {:>10.1} {:>10.1}",
-            j.name, j.nodes, j.start, j.end,
+            j.name,
+            j.nodes,
+            j.start,
+            j.end,
             j.runtime()
         );
     }
@@ -235,8 +266,7 @@ fn cmd_period(opts: &Opts) -> Result<(), String> {
                 "dominant I/O period {:.2} s ({:.3} Hz), confidence {:.2}",
                 est.period, est.frequency, est.confidence
             );
-            let nominal = hacc.compute_seconds() + hacc.verify_seconds()
-                + hacc.data_bytes() / 10e9;
+            let nominal = hacc.compute_seconds() + hacc.verify_seconds() + hacc.data_bytes() / 10e9;
             println!("nominal loop period ≈ {nominal:.2} s");
         }
         None => println!("no periodic I/O detected"),

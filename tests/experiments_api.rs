@@ -4,7 +4,11 @@ use iobts::experiments::{run_hacc, run_hacc_sync, run_wacomm, ExpConfig, RunOutp
 use iobts::prelude::*;
 
 fn small_hacc() -> HaccConfig {
-    HaccConfig { particles_per_rank: 20_000, loops: 4, ..Default::default() }
+    HaccConfig {
+        particles_per_rank: 20_000,
+        loops: 4,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -51,7 +55,13 @@ fn sync_baseline_has_no_phases() {
 fn record_pfs_off_yields_empty_series() {
     let mut cfg = ExpConfig::new(2, Strategy::None);
     cfg.record_pfs = false;
-    let out = run_wacomm(&cfg, &WacommConfig { iterations: 4, ..Default::default() });
+    let out = run_wacomm(
+        &cfg,
+        &WacommConfig {
+            iterations: 4,
+            ..Default::default()
+        },
+    );
     assert!(out.pfs_write.is_empty());
     assert!(out.report.required_bandwidth() > 0.0, "tracing still works");
 }
@@ -70,7 +80,10 @@ fn seeds_thread_through_the_pipeline() {
 #[test]
 fn burst_buffer_passes_through_exp_config() {
     let mut cfg = ExpConfig::new(2, Strategy::None);
-    cfg.pfs = pfsim::PfsConfig { write_capacity: 50e6, read_capacity: 1e9 };
+    cfg.pfs = pfsim::PfsConfig {
+        write_capacity: 50e6,
+        read_capacity: 1e9,
+    };
     let slow: RunOutput = run_hacc_sync(&cfg, &small_hacc());
     cfg.burst_buffer = Some(pfsim::BurstBufferConfig {
         size_bytes: 1e9,

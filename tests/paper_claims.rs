@@ -11,12 +11,19 @@ fn limiting_flattens_bursts_at_stable_runtime() {
     // 300k particles -> 11.4 MB per request = 11 sub-requests of 1 MiB, so
     // pacing genuinely spreads the bytes (a request below one sub-request is
     // "just executed" per Sec. V and cannot be flattened physically).
-    let hacc = HaccConfig { particles_per_rank: 300_000, loops: 8, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: 300_000,
+        loops: 8,
+        ..Default::default()
+    };
     let base = run_hacc(&ExpConfig::new(16, Strategy::None), &hacc);
     let lim = run_hacc(&ExpConfig::new(16, Strategy::UpOnly { tol: 1.1 }), &hacc);
 
     let slowdown = (lim.app_time() - base.app_time()) / base.app_time();
-    assert!(slowdown < 0.05, "runtime must stay within 5 %: {slowdown:+.3}");
+    assert!(
+        slowdown < 0.05,
+        "runtime must stay within 5 %: {slowdown:+.3}"
+    );
 
     // Sustained burst intensity (max bytes moved in any 100 ms window)
     // after the limiter engages drops several-fold (≈9× here). Instantaneous rates are the
@@ -48,7 +55,11 @@ fn limiting_flattens_bursts_at_stable_runtime() {
 /// under every limiting strategy and is near zero without.
 #[test]
 fn exploitation_rises_with_limiting() {
-    let hacc = HaccConfig { particles_per_rank: 50_000, loops: 6, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: 50_000,
+        loops: 6,
+        ..Default::default()
+    };
     let exploit = |strategy| {
         let out = run_hacc(&ExpConfig::new(8, strategy), &hacc);
         let d = out.report.decomposition();
@@ -59,7 +70,10 @@ fn exploitation_rises_with_limiting() {
     for strategy in [
         Strategy::Direct { tol: 1.1 },
         Strategy::UpOnly { tol: 1.1 },
-        Strategy::Adaptive { tol: 1.1, tol_i: 0.5 },
+        Strategy::Adaptive {
+            tol: 1.1,
+            tol_i: 0.5,
+        },
     ] {
         let e = exploit(strategy);
         assert!(e > 40.0, "{} exploit too low: {e:.1}%", strategy.name());
@@ -70,7 +84,10 @@ fn exploitation_rises_with_limiting() {
 /// required bandwidth is ≈ n × the rank-level one.
 #[test]
 fn app_level_b_scales_with_ranks() {
-    let wc = WacommConfig { iterations: 10, ..Default::default() };
+    let wc = WacommConfig {
+        iterations: 10,
+        ..Default::default()
+    };
     let out8 = run_wacomm(&ExpConfig::new(8, Strategy::None).exact(), &wc);
     let out16 = run_wacomm(&ExpConfig::new(16, Strategy::None).exact(), &wc);
     let b8 = out8.report.required_bandwidth();
@@ -78,14 +95,20 @@ fn app_level_b_scales_with_ranks() {
     // Halving the per-rank particle share halves per-rank B and bytes, but
     // doubling ranks roughly cancels it; with the fixed base iteration cost
     // the ratio lands near 1.3 — what matters is that B grows, not shrinks.
-    assert!(b16 > b8, "app-level B should grow with ranks: {b8:.3e} vs {b16:.3e}");
+    assert!(
+        b16 > b8,
+        "app-level B should grow with ranks: {b8:.3e} vs {b16:.3e}"
+    );
 }
 
 /// Claim (Fig. 9): the throughput of phase j+1 follows the limit computed
 /// from phase j.
 #[test]
 fn throughput_follows_previous_phase_limit() {
-    let wc = WacommConfig { iterations: 12, ..Default::default() };
+    let wc = WacommConfig {
+        iterations: 12,
+        ..Default::default()
+    };
     let out = run_wacomm(&ExpConfig::new(4, Strategy::UpOnly { tol: 1.1 }), &wc);
     let mut checked = 0;
     for w in &out.report.windows {
@@ -100,7 +123,10 @@ fn throughput_follows_previous_phase_limit() {
             checked += 1;
         }
     }
-    assert!(checked >= 4 * 8, "enough throttled windows checked: {checked}");
+    assert!(
+        checked >= 4 * 8,
+        "enough throttled windows checked: {checked}"
+    );
 }
 
 /// Claim (Secs. II–III): for a periodic checkpointing pattern, issuing the
@@ -119,7 +145,10 @@ fn async_issue_beats_sync_issue() {
             issue,
         };
         let mut wc = WorldConfig::new(8);
-        wc.pfs = pfsim::PfsConfig { write_capacity: 4e9, read_capacity: 4e9 };
+        wc.pfs = pfsim::PfsConfig {
+            write_capacity: 4e9,
+            read_capacity: 4e9,
+        };
         let programs = vec![cfg.program(mpisim::FileId(0)); 8];
         let mut w = World::new(wc, programs, NoHooks);
         w.create_file("f");
@@ -136,7 +165,10 @@ fn async_issue_beats_sync_issue() {
 
     // And the original end-writing WaComM++ is not faster than the modified
     // async version.
-    let wc = WacommConfig { iterations: 10, ..Default::default() };
+    let wc = WacommConfig {
+        iterations: 10,
+        ..Default::default()
+    };
     let sync_orig = run_wacomm_sync(&ExpConfig::new(8, Strategy::None), &wc);
     let async_none = run_wacomm(&ExpConfig::new(8, Strategy::None), &wc);
     assert!(async_none.app_time() <= sync_orig.app_time() * 1.01);
@@ -146,12 +178,19 @@ fn async_issue_beats_sync_issue() {
 /// total runtime, with peri-runtime below 0.1 %.
 #[test]
 fn overhead_bounds_hold() {
-    let hacc = HaccConfig { particles_per_rank: 100_000, loops: 10, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: 100_000,
+        loops: 10,
+        ..Default::default()
+    };
     for n in [1, 8, 32] {
         let out = run_hacc(&ExpConfig::new(n, Strategy::Direct { tol: 1.1 }), &hacc);
         let (app, peri, post, total) = out.report.overhead_split();
         assert!(peri / (app * n as f64) < 0.001, "peri > 0.1 % at {n} ranks");
-        assert!(post / total < 0.09, "post overhead {post} vs total {total} at {n} ranks");
+        assert!(
+            post / total < 0.09,
+            "post overhead {post} vs total {total} at {n} ranks"
+        );
     }
 }
 
@@ -159,7 +198,11 @@ fn overhead_bounds_hold() {
 /// intact (the artifact workflow of the real TMIO).
 #[test]
 fn report_json_roundtrip() {
-    let hacc = HaccConfig { particles_per_rank: 20_000, loops: 4, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: 20_000,
+        loops: 4,
+        ..Default::default()
+    };
     let out = run_hacc(&ExpConfig::new(4, Strategy::Direct { tol: 1.1 }), &hacc);
     let json = out.report.to_json();
     let back = Report::from_json(&json).expect("parse");
@@ -191,12 +234,20 @@ fn threaded_matches_scripted() {
     // Scripted.
     let mut ops = Vec::new();
     for k in 0..loops {
-        ops.push(Op::IWrite { file: FileId(0), bytes, tag: ReqTag(k) });
+        ops.push(Op::IWrite {
+            file: FileId(0),
+            bytes,
+            tag: ReqTag(k),
+        });
         ops.push(Op::Compute { seconds: compute });
         ops.push(Op::Wait { tag: ReqTag(k) });
         ops.push(Op::Barrier);
     }
-    let mut w = World::new(WorldConfig::new(4), vec![Program::from_ops(ops); 4], NoHooks);
+    let mut w = World::new(
+        WorldConfig::new(4),
+        vec![Program::from_ops(ops); 4],
+        NoHooks,
+    );
     w.create_file("f");
     let scripted = w.run().makespan();
 
@@ -221,9 +272,22 @@ fn threaded_matches_scripted() {
 /// Full-pipeline determinism: identical seeds reproduce identical reports.
 #[test]
 fn experiment_pipeline_is_deterministic() {
-    let hacc = HaccConfig { particles_per_rank: 30_000, loops: 5, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: 30_000,
+        loops: 5,
+        ..Default::default()
+    };
     let run = || {
-        let out = run_hacc(&ExpConfig::new(8, Strategy::Adaptive { tol: 1.1, tol_i: 0.5 }), &hacc);
+        let out = run_hacc(
+            &ExpConfig::new(
+                8,
+                Strategy::Adaptive {
+                    tol: 1.1,
+                    tol_i: 0.5,
+                },
+            ),
+            &hacc,
+        );
         (out.app_time(), out.report.to_json())
     };
     let (t1, j1) = run();
@@ -259,7 +323,11 @@ fn motivation_spares_bandwidth_for_sync_jobs() {
 /// aggressive direct strategy with a tolerance below 1.
 #[test]
 fn underestimating_strategy_degrades_gracefully() {
-    let hacc = HaccConfig { particles_per_rank: 50_000, loops: 6, ..Default::default() };
+    let hacc = HaccConfig {
+        particles_per_rank: 50_000,
+        loops: 6,
+        ..Default::default()
+    };
     let base = run_hacc(&ExpConfig::new(4, Strategy::None), &hacc);
     let tight = run_hacc(&ExpConfig::new(4, Strategy::Direct { tol: 0.7 }), &hacc);
     // Waits appear (the paper's "too-low value" hazard) …
