@@ -11,7 +11,7 @@
 
 use crate::ops::ReqTag;
 use pfsim::Channel;
-use simcore::SimTime;
+use simcore::{IoErrorKind, SimTime};
 
 /// Per-rank bandwidth limits applied by the ADIO-style I/O thread.
 ///
@@ -144,6 +144,33 @@ pub trait IoHooks {
         limits: &mut Limits,
     ) -> f64 {
         0.0
+    }
+
+    /// The I/O thread is retrying a failed sub-request after a backoff
+    /// sleep (fault injection). `tag` is `None` for blocking calls; `retry`
+    /// is 1-based. Not in rank context (no overhead).
+    fn on_io_retry(
+        &mut self,
+        t: SimTime,
+        rank: usize,
+        tag: Option<ReqTag>,
+        kind: IoErrorKind,
+        retry: u32,
+        backoff: f64,
+    ) {
+    }
+
+    /// An I/O op failed terminally: retries exhausted or the request was
+    /// cancelled. A rank blocked in the matching `Wait` is released with the
+    /// error instead of hanging. Not in rank context (no overhead).
+    fn on_op_error(
+        &mut self,
+        t: SimTime,
+        rank: usize,
+        tag: Option<ReqTag>,
+        kind: IoErrorKind,
+        attempts: u32,
+    ) {
     }
 
     /// Rank finished its program at time `t`.

@@ -27,6 +27,10 @@ mod world;
 pub use hooks::{IoHooks, Limits, NoHooks};
 pub use ops::{FileId, Op, Program, ReqTag};
 pub use pfsim::Channel;
+// Fault-plan vocabulary, re-exported so callers configuring faults don't
+// need a direct simcore dependency.
+pub use simcore::{FaultPlan, IoErrorKind, RetryPolicy};
 pub use world::{
-    CapacityNoiseCfg, RankAccounting, RankDriver, RunSummary, ScriptedDriver, World, WorldConfig,
+    CapacityNoiseCfg, OpErrorRecord, RankAccounting, RankDriver, RunSummary, ScriptedDriver, World,
+    WorldConfig,
 };

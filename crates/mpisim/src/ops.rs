@@ -181,7 +181,10 @@ impl Program {
                 _ => {}
             }
         }
-        if let Some(tag) = outstanding.iter().next() {
+        // Report the lowest-numbered unmatched tag: `HashSet` iteration
+        // order varies between runs, and a diagnostic that names a different
+        // tag each time is useless for bisecting a generator bug.
+        if let Some(tag) = outstanding.iter().min_by_key(|t| t.0) {
             return Err(format!("program ends with unmatched request {tag:?}"));
         }
         Ok(())
@@ -243,6 +246,25 @@ mod tests {
             tag: ReqTag(3),
         }]);
         assert!(p.validate().unwrap_err().contains("unmatched"));
+    }
+
+    #[test]
+    fn unmatched_report_is_deterministic_lowest_tag() {
+        // Several unmatched submits in shuffled order: the message must name
+        // the lowest-numbered tag, run after run, regardless of HashSet
+        // iteration order.
+        let submit = |tag| Op::IWrite {
+            file: FileId(0),
+            bytes: 1.0,
+            tag: ReqTag(tag),
+        };
+        for _ in 0..16 {
+            let p = Program::from_ops(vec![submit(9), submit(3), submit(7), submit(4)]);
+            assert_eq!(
+                p.validate().unwrap_err(),
+                "program ends with unmatched request ReqTag(3)"
+            );
+        }
     }
 
     #[test]

@@ -25,8 +25,9 @@ use crate::hooks::IoHooks;
 use crate::ops::{FileId, Op, ReqTag};
 use crate::world::{RankDriver, RunSummary, World, WorldConfig};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use simcore::SimTime;
-use std::sync::Arc;
+use simcore::{IoErrorKind, SimTime};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 enum Msg {
@@ -38,6 +39,8 @@ struct Ack {
     now: SimTime,
     /// Completion status returned by `Op::Test`.
     test_result: Option<bool>,
+    /// A terminal I/O-op error delivered to this rank since the last ack.
+    io_error: Option<IoErrorKind>,
 }
 
 /// Handle to an outstanding non-blocking request (an `MPI_Request`).
@@ -55,6 +58,7 @@ pub struct RankCtx {
     to_engine: Sender<Msg>,
     from_engine: Receiver<Ack>,
     next_tag: u32,
+    last_error: Option<IoErrorKind>,
 }
 
 impl RankCtx {
@@ -77,7 +81,18 @@ impl RankCtx {
         self.to_engine.send(Msg::Op(op)).expect("engine alive");
         let ack = self.from_engine.recv().expect("engine alive");
         self.now = ack.now;
+        if ack.io_error.is_some() {
+            self.last_error = ack.io_error;
+        }
         ack.test_result
+    }
+
+    /// Takes the most recent terminal I/O-op error delivered to this rank
+    /// (fault injection: retries exhausted or a cancelled request), if any.
+    /// Check after the wait that should have completed the op; a failed
+    /// `wait` returns normally instead of hanging, with the error held here.
+    pub fn take_io_error(&mut self) -> Option<IoErrorKind> {
+        self.last_error.take()
     }
 
     /// Computes for `seconds` of nominal time (world noise applies).
@@ -164,6 +179,7 @@ struct ThreadedDriver {
     ack_tx: Vec<Sender<Ack>>,
     started: Vec<bool>,
     test_results: Vec<Option<bool>>,
+    io_errors: Vec<Option<IoErrorKind>>,
 }
 
 impl RankDriver for ThreadedDriver {
@@ -172,8 +188,13 @@ impl RankDriver for ThreadedDriver {
         // the rank thread starts eagerly without waiting for a kick-off).
         if self.started[rank] {
             let test_result = self.test_results[rank].take();
+            let io_error = self.io_errors[rank].take();
             self.ack_tx[rank]
-                .send(Ack { now, test_result })
+                .send(Ack {
+                    now,
+                    test_result,
+                    io_error,
+                })
                 .expect("rank thread alive");
         } else {
             self.started[rank] = true;
@@ -186,6 +207,10 @@ impl RankDriver for ThreadedDriver {
 
     fn on_test_result(&mut self, rank: usize, done: bool) {
         self.test_results[rank] = Some(done);
+    }
+
+    fn on_op_error(&mut self, rank: usize, kind: IoErrorKind) {
+        self.io_errors[rank] = Some(kind);
     }
 }
 
@@ -216,12 +241,21 @@ impl<H: IoHooks + Send + 'static> Threaded<H> {
     /// Spawns one thread per rank running `body` and drives the virtual-time
     /// engine on the calling thread. Returns the run summary and the
     /// observer (with whatever it recorded).
+    ///
+    /// If a rank closure panics, the run drains cleanly (no hang, no
+    /// secondary `expect` failure masking the cause) and the *original*
+    /// panic payload is re-raised from this call.
     pub fn run<F>(self, body: F) -> (RunSummary, H)
     where
         F: Fn(&mut RankCtx) + Send + Sync + 'static,
     {
         let n = self.cfg.n_ranks;
         let body = Arc::new(body);
+        // Rank-closure panic payloads, in the order the panics happened.
+        // A panicking rank records its payload *before* reporting Done, so
+        // the original cause always precedes any secondary channel panics.
+        type Payload = Box<dyn std::any::Any + Send>;
+        let panics: Arc<Mutex<Vec<Payload>>> = Arc::new(Mutex::new(Vec::new()));
         let mut op_rx = Vec::with_capacity(n);
         let mut ack_tx = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -231,6 +265,7 @@ impl<H: IoHooks + Send + 'static> Threaded<H> {
             op_rx.push(orx);
             ack_tx.push(atx);
             let body = Arc::clone(&body);
+            let panics = Arc::clone(&panics);
             handles.push(
                 thread::Builder::new()
                     .name(format!("rank-{rank}"))
@@ -243,8 +278,14 @@ impl<H: IoHooks + Send + 'static> Threaded<H> {
                             to_engine: otx,
                             from_engine: arx,
                             next_tag: 0,
+                            last_error: None,
                         };
-                        body(&mut ctx);
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
+                            panics.lock().expect("panic list").push(payload);
+                        }
+                        // Report Done even after a panic so the engine sees
+                        // the rank finish instead of dying on a closed
+                        // channel mid-event.
                         let _ = ctx.to_engine.send(Msg::Done);
                     })
                     .expect("spawn rank thread"),
@@ -255,15 +296,39 @@ impl<H: IoHooks + Send + 'static> Threaded<H> {
             ack_tx,
             started: vec![false; n],
             test_results: vec![None; n],
+            io_errors: vec![None; n],
         };
         let mut world = World::with_driver(self.cfg, Box::new(driver), self.hooks);
         for name in &self.files {
             world.create_file(name);
         }
-        let summary = world.run();
-        for h in handles {
-            h.join().expect("rank thread panicked");
+        let run_result = catch_unwind(AssertUnwindSafe(|| world.run()));
+        if run_result.is_err() {
+            // The engine died (e.g. deadlock: a panicked rank left its peers
+            // stuck in a collective). Drop the world to close the channels
+            // so blocked rank threads unblock and drain.
+            drop(world);
+            for h in handles {
+                let _ = h.join();
+            }
+            let first = panics.lock().expect("panic list").drain(..).next();
+            match (first, run_result) {
+                // Prefer the rank closure's payload over the engine's
+                // secondary deadlock panic.
+                (Some(payload), _) => resume_unwind(payload),
+                (None, Err(engine_payload)) => resume_unwind(engine_payload),
+                (None, Ok(_)) => unreachable!("run_result checked above"),
+            }
         }
+        for h in handles {
+            let _ = h.join();
+        }
+        // The engine completed, but a rank may still have panicked (its Done
+        // let the run finish): surface the original payload.
+        if let Some(payload) = panics.lock().expect("panic list").drain(..).next() {
+            resume_unwind(payload);
+        }
+        let summary = run_result.unwrap_or_else(|_| unreachable!("checked above"));
         (summary, world.into_hooks())
     }
 }
@@ -309,6 +374,52 @@ mod tests {
             ctx.compute(0.001 * (ctx.rank() + 1) as f64);
         });
         assert!((summary.makespan() - 0.004).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closure_panic_propagates_original_payload() {
+        // A rank panics while its peers sit in a barrier. The run must not
+        // hang or die on a secondary channel expect; the original payload
+        // must come back out of `run`.
+        let tw = Threaded::new(WorldConfig::new(3), NoHooks);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            tw.run(move |ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom-original-42");
+                }
+                ctx.compute(0.001);
+                ctx.barrier();
+            })
+        }));
+        let payload = res.expect_err("run must re-raise the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("boom-original-42"),
+            "expected the closure's payload, got: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn closure_panic_without_collectives_still_propagates() {
+        // Here the engine completes normally (no rank is left blocked); the
+        // payload must still surface after the drain.
+        let tw = Threaded::new(WorldConfig::new(2), NoHooks);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            tw.run(move |ctx| {
+                ctx.compute(0.001);
+                if ctx.rank() == 0 {
+                    panic!("solo-boom");
+                }
+            })
+        }));
+        let payload = res.expect_err("run must re-raise the panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("solo-boom"), "got: {msg:?}");
     }
 
     #[test]

@@ -19,7 +19,10 @@
 use crate::hooks::{IoHooks, Limits};
 use crate::ops::{FileId, Op, Program, ReqTag};
 use pfsim::{BurstBuffer, BurstBufferConfig, Channel, FlowId, FlowSpec, Pfs, PfsConfig};
-use simcore::{rank_phase_stream, stream_rng, EventKey, EventQueue, Noise, SimTime, StepSeries};
+use simcore::{
+    rank_phase_stream, stream_rng, EventKey, EventQueue, FaultPlan, IoErrorKind, Noise, SimTime,
+    StepSeries,
+};
 use std::collections::HashMap;
 
 /// Configuration of a simulated run.
@@ -65,6 +68,9 @@ pub struct WorldConfig {
     pub limit_sync_ops: bool,
     /// Record PFS rate series (disable for large sweeps).
     pub record_pfs: bool,
+    /// Seeded fault schedule replayed against the run. The default (empty)
+    /// plan reproduces the fault-free run bit-for-bit.
+    pub faults: FaultPlan,
 }
 
 /// Periodic multiplicative noise on PFS capacity.
@@ -94,6 +100,7 @@ impl WorldConfig {
             burst_buffer: None,
             limit_sync_ops: true,
             record_pfs: true,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -114,6 +121,12 @@ impl WorldConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Provides each rank's next op. Scripted programs and the threaded closure
@@ -128,6 +141,12 @@ pub trait RankDriver: Send {
     /// call (external drivers forward it to the application thread).
     fn on_test_result(&mut self, rank: usize, done: bool) {
         let _ = (rank, done);
+    }
+
+    /// Delivers a terminal I/O-op failure for `rank` (retries exhausted or
+    /// the request was cancelled) before the rank's next `next_op` call.
+    fn on_op_error(&mut self, rank: usize, kind: IoErrorKind) {
+        let _ = (rank, kind);
     }
 }
 
@@ -176,6 +195,12 @@ struct IoTask {
     /// Size and start time of the sub-request currently on the PFS.
     subreq_bytes: f64,
     subreq_started: SimTime,
+    /// Failed attempts of the current sub-request (reset on success).
+    attempts: u32,
+    /// Per-task fault-decision stream; `None` when no error model is active.
+    fault_rng: Option<rand::rngs::SmallRng>,
+    /// Marked by the fault plan: abort after the in-flight sub-request.
+    cancelled: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -198,6 +223,9 @@ enum Status {
 enum ReqState {
     InFlight,
     Completed,
+    /// The I/O thread gave up on the request (retries exhausted or
+    /// cancelled); the matching wait returns with the error.
+    Failed(IoErrorKind),
 }
 
 /// Cumulative per-rank time accounting kept by the runtime itself (tools
@@ -221,6 +249,9 @@ pub struct RankAccounting {
     pub collective: f64,
     /// Seconds of injected tool overhead (peri-runtime).
     pub overhead: f64,
+    /// Seconds the rank's I/O thread spent in retry backoff sleeps
+    /// (fault injection); zero in fault-free runs.
+    pub retry: f64,
 }
 
 struct RankState {
@@ -229,6 +260,8 @@ struct RankState {
     req_channel: HashMap<ReqTag, Channel>,
     compute_count: u64,
     collective_seq: u64,
+    /// Async submits issued so far (indexes [`simcore::CancelSpec`]).
+    async_seq: u64,
     wait_entered: SimTime,
     sync_entered: SimTime,
     sync_bytes: f64,
@@ -249,6 +282,7 @@ impl RankState {
             req_channel: HashMap::new(),
             compute_count: 0,
             collective_seq: 0,
+            async_seq: 0,
             wait_entered: SimTime::ZERO,
             sync_entered: SimTime::ZERO,
             sync_bytes: 0.0,
@@ -285,6 +319,24 @@ enum Event {
     CollIoStart(u64),
     CollectiveRelease(u64),
     CapacityTick(u64),
+    /// A channel-fault window starts or ends: recompute effective capacity.
+    FaultEdge,
+}
+
+/// One terminal I/O-op failure surfaced to the application (fault
+/// injection: retries exhausted or the request was cancelled).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpErrorRecord {
+    /// Rank that issued the failed op.
+    pub rank: usize,
+    /// Request tag for async ops; `None` for blocking calls.
+    pub tag: Option<ReqTag>,
+    /// The injected error (maps to a POSIX errno).
+    pub kind: IoErrorKind,
+    /// Virtual time the failure surfaced, seconds.
+    pub at: f64,
+    /// Sub-request attempts consumed when the op was failed.
+    pub attempts: u32,
 }
 
 /// Result of a completed run.
@@ -296,6 +348,9 @@ pub struct RunSummary {
     pub finished_at: Vec<SimTime>,
     /// Per-rank time accounting.
     pub accounting: Vec<RankAccounting>,
+    /// Terminal I/O-op failures, in the order they surfaced. Empty in
+    /// fault-free runs.
+    pub op_errors: Vec<OpErrorRecord>,
 }
 
 impl RunSummary {
@@ -330,6 +385,7 @@ pub struct World<H: IoHooks> {
     live_ranks: usize,
     cap_tick: u64,
     cap_rng: rand::rngs::SmallRng,
+    op_errors: Vec<OpErrorRecord>,
 }
 
 impl<H: IoHooks> World<H> {
@@ -371,6 +427,7 @@ impl<H: IoHooks> World<H> {
             live_ranks,
             cap_tick: 0,
             cap_rng,
+            op_errors: Vec::new(),
         }
     }
 
@@ -430,6 +487,19 @@ impl<H: IoHooks> World<H> {
         if let Some(cn) = self.cfg.capacity_noise {
             self.queue.schedule_in(cn.period, Event::CapacityTick(0));
         }
+        // Channel-fault windows: recompute the effective capacity factor at
+        // every window edge. An inert plan schedules nothing, keeping the
+        // fault-free event order untouched.
+        let mut edges: Vec<f64> = Vec::new();
+        for w in self.cfg.faults.active_channel_faults() {
+            edges.push(w.start.max(0.0));
+            edges.push(w.end);
+        }
+        edges.sort_by(|a, b| a.partial_cmp(b).expect("NaN-free"));
+        edges.dedup();
+        for e in edges {
+            self.queue.schedule(SimTime::from_secs(e), Event::FaultEdge);
+        }
         // Kick off every rank at t = 0.
         for rank in 0..self.cfg.n_ranks {
             if self.ranks[rank].status == Status::Runnable {
@@ -467,6 +537,7 @@ impl<H: IoHooks> World<H> {
             end_time,
             accounting: self.ranks.iter().map(|r| r.acct).collect(),
             finished_at,
+            op_errors: std::mem::take(&mut self.op_errors),
         }
     }
 
@@ -495,7 +566,11 @@ impl<H: IoHooks> World<H> {
             Event::BbDone(id) => {
                 let task = self.tasks.remove(&id).expect("bb task exists");
                 let now = self.queue.now();
-                self.finish_task(now, id, task);
+                if task.cancelled {
+                    self.fail_task(now, id, task, IoErrorKind::Cancelled);
+                } else {
+                    self.finish_task(now, id, task);
+                }
             }
             Event::CollIoStart(id) => {
                 self.start_coll_io(id);
@@ -543,6 +618,18 @@ impl<H: IoHooks> World<H> {
                 self.cap_tick = i + 1;
                 self.queue
                     .schedule_in(cn.period, Event::CapacityTick(i + 1));
+                self.resync_pfs();
+            }
+            Event::FaultEdge => {
+                self.drain_pfs();
+                let now = self.queue.now();
+                let t = now.as_secs();
+                for (idx, ch) in [(0usize, Channel::Write), (1usize, Channel::Read)] {
+                    let f = self.cfg.faults.capacity_factor(idx, t);
+                    if self.pfs.fault_factor(ch) != f {
+                        self.pfs.set_fault_factor(now, ch, f);
+                    }
+                }
                 self.resync_pfs();
             }
         }
@@ -615,6 +702,11 @@ impl<H: IoHooks> World<H> {
                 self.ranks[rank].compute_count += 1;
                 let mut rng = stream_rng(self.cfg.seed, rank_phase_stream(rank, idx as usize));
                 let mut dur = self.cfg.compute_noise.apply(seconds, &mut rng);
+                // Straggler ranks (fault plan) run slowed-down compute.
+                let sf = self.cfg.faults.straggler_factor(rank);
+                if sf != 1.0 {
+                    dur *= sf;
+                }
                 // Interference toll from I/O-thread activity ([33]).
                 dur += std::mem::take(&mut self.ranks[rank].pending_toll);
                 self.ranks[rank].acct.compute += dur;
@@ -650,7 +742,7 @@ impl<H: IoHooks> World<H> {
         let now = self.queue.now();
         let done = matches!(
             self.ranks[rank].requests.get(&tag),
-            Some(ReqState::Completed)
+            Some(ReqState::Completed | ReqState::Failed(_))
         );
         assert!(
             self.ranks[rank].requests.contains_key(&tag),
@@ -675,7 +767,7 @@ impl<H: IoHooks> World<H> {
             .requests
             .get(&tag)
             .unwrap_or_else(|| panic!("rank {rank}: poll-wait on unknown request {tag:?}"));
-        let done = state == ReqState::Completed;
+        let done = state != ReqState::InFlight;
         let first = self.ranks[rank].polling != Some(tag);
         let mut overhead = 0.0;
         if first {
@@ -879,7 +971,12 @@ impl<H: IoHooks> World<H> {
         }
         self.ranks[rank].requests.insert(tag, ReqState::InFlight);
         self.ranks[rank].req_channel.insert(tag, channel);
+        let seq = self.ranks[rank].async_seq;
+        self.ranks[rank].async_seq += 1;
         let task = self.new_task(rank, Some(tag), bytes, channel);
+        if self.cfg.faults.cancels(rank, seq) {
+            self.tasks.get_mut(&task).expect("task exists").cancelled = true;
+        }
         if channel == Channel::Write && self.cfg.burst_buffer.is_some() {
             self.start_bb_write(task, rank, bytes);
         } else {
@@ -896,7 +993,7 @@ impl<H: IoHooks> World<H> {
             .requests
             .get(&tag)
             .unwrap_or_else(|| panic!("rank {rank}: wait on unknown request {tag:?}"));
-        let already_done = state == ReqState::Completed;
+        let already_done = state != ReqState::InFlight;
         let mut hooks = self.hooks.take().expect("hooks");
         let mut o = hooks.on_wait_enter(now, rank, tag, already_done, &mut self.limits);
         if already_done {
@@ -928,6 +1025,13 @@ impl<H: IoHooks> World<H> {
         let id = TaskId(self.next_task);
         self.next_task += 1;
         let now = self.queue.now();
+        // The fault stream is per-task so a replay is independent of how
+        // unrelated tasks interleave; no stream exists for inert models.
+        let fault_rng = if self.cfg.faults.io_errors_active() {
+            Some(self.cfg.faults.stream(id.0))
+        } else {
+            None
+        };
         self.tasks.insert(
             id,
             IoTask {
@@ -938,6 +1042,9 @@ impl<H: IoHooks> World<H> {
                 deficit: 0.0,
                 subreq_bytes: 0.0,
                 subreq_started: now,
+                attempts: 0,
+                fault_rng,
+                cancelled: false,
             },
         );
         id
@@ -991,6 +1098,9 @@ impl<H: IoHooks> World<H> {
             .flow_task
             .remove(&flow)
             .expect("flow belongs to a task");
+        if self.apply_io_fault(ct, id) {
+            return; // the sub-request failed; its bytes are discarded
+        }
         let (rank, finished, subreq_bytes, subreq_started) = {
             let task = self.tasks.get_mut(&id).expect("task exists");
             task.bytes_left -= task.subreq_bytes;
@@ -1052,20 +1162,101 @@ impl<H: IoHooks> World<H> {
         }
     }
 
+    /// Decides whether the sub-request whose PFS transfer just finished is
+    /// poisoned by the fault plan — a pending cancellation or a drawn
+    /// transient error. Returns true when the completion was consumed: the
+    /// task either failed terminally or will re-issue the same sub-request
+    /// after a deterministic backoff sleep (virtual time); either way the
+    /// transferred bytes are discarded.
+    fn apply_io_fault(&mut self, ct: SimTime, id: TaskId) -> bool {
+        let (cancelled, drawn) = {
+            let task = self.tasks.get_mut(&id).expect("task exists");
+            if task.cancelled {
+                (true, None)
+            } else {
+                let drawn = match (&self.cfg.faults.io_errors, task.fault_rng.as_mut()) {
+                    (Some(model), Some(rng)) => model.draw(rng),
+                    _ => None,
+                };
+                (false, drawn)
+            }
+        };
+        if cancelled {
+            let task = self.tasks.remove(&id).expect("task exists");
+            self.fail_task(ct, id, task, IoErrorKind::Cancelled);
+            return true;
+        }
+        let Some(kind) = drawn else {
+            self.tasks.get_mut(&id).expect("task exists").attempts = 0;
+            return false;
+        };
+        let (rank, tag, attempts) = {
+            let task = self.tasks.get_mut(&id).expect("task exists");
+            task.attempts += 1;
+            (task.rank, task.tag, task.attempts)
+        };
+        if attempts > self.cfg.faults.retry.max_retries {
+            let task = self.tasks.remove(&id).expect("task exists");
+            self.fail_task(ct, id, task, kind);
+            return true;
+        }
+        // Bounded exponential backoff, then re-issue the failed sub-request
+        // (IoTaskNext re-reads the limit and restarts pacing cleanly).
+        let backoff = self.cfg.faults.retry.backoff(attempts - 1);
+        self.ranks[rank].acct.retry += backoff;
+        let mut hooks = self.hooks.take().expect("hooks");
+        hooks.on_io_retry(ct, rank, tag, kind, attempts, backoff);
+        self.hooks = Some(hooks);
+        let resume_at = ct.max(self.queue.now()).after(backoff);
+        self.queue.schedule(resume_at, Event::IoTaskNext(id));
+        true
+    }
+
+    /// Terminal failure of an I/O op: retries exhausted or the request was
+    /// cancelled. Records the error, notifies observer and driver, then
+    /// releases the rank through the completion path — a failed `Wait`
+    /// returns with the error instead of hanging.
+    fn fail_task(&mut self, ct: SimTime, id: TaskId, task: IoTask, kind: IoErrorKind) {
+        let at = ct.max(self.queue.now());
+        self.op_errors.push(OpErrorRecord {
+            rank: task.rank,
+            tag: task.tag,
+            kind,
+            at: at.as_secs(),
+            attempts: task.attempts,
+        });
+        let mut hooks = self.hooks.take().expect("hooks");
+        hooks.on_op_error(at, task.rank, task.tag, kind, task.attempts);
+        self.hooks = Some(hooks);
+        self.driver.on_op_error(task.rank, kind);
+        self.complete_task(ct, id, task, Some(kind));
+    }
+
     /// All bytes of a request are on the PFS: complete the generalized
     /// request and release any blocked rank.
     fn finish_task(&mut self, ct: SimTime, id: TaskId, task: IoTask) {
+        self.complete_task(ct, id, task, None);
+    }
+
+    /// Shared completion path: the I/O thread is done with the request,
+    /// successfully (`error` = None) or not. The request-complete hook fires
+    /// either way — the tool's transfer span closes when the I/O thread
+    /// stops working on the request.
+    fn complete_task(&mut self, ct: SimTime, id: TaskId, task: IoTask, error: Option<IoErrorKind>) {
         let now = self.queue.now();
         let rank = task.rank;
         let status = self.ranks[rank].status;
         let release_at = ct.max(now);
         match task.tag {
             Some(tag) => {
-                // Async request: mark complete, notify tool.
+                // Async request: mark complete (or failed), notify tool.
                 *self.ranks[rank]
                     .requests
                     .get_mut(&tag)
-                    .expect("request registered") = ReqState::Completed;
+                    .expect("request registered") = match error {
+                    None => ReqState::Completed,
+                    Some(kind) => ReqState::Failed(kind),
+                };
                 let mut hooks = self.hooks.take().expect("hooks");
                 hooks.on_request_complete(ct, rank, tag);
                 self.hooks = Some(hooks);

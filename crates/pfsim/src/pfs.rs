@@ -110,6 +110,10 @@ struct CtEntry {
 
 struct ChannelState {
     capacity: f64,
+    /// Fault-plan capacity multiplier (1 = healthy, 0 = outage). Kept
+    /// separate from `capacity` so capacity noise and injected faults
+    /// compose instead of overwriting each other.
+    fault_factor: f64,
     groups: Vec<Group>,
     total_series: StepSeries,
     /// Resident demand buffer, rebuilt in place by each reallocation.
@@ -136,6 +140,7 @@ impl ChannelState {
     fn new(capacity: f64) -> Self {
         ChannelState {
             capacity,
+            fault_factor: 1.0,
             groups: Vec::new(),
             total_series: StepSeries::new(),
             demands: Vec::new(),
@@ -338,6 +343,26 @@ impl Pfs {
         self.reallocate(channel);
     }
 
+    /// Applies a fault-plan capacity multiplier to a channel at time `t`
+    /// (0 = outage: every flow water-fills to rate 0 and completions freeze
+    /// until the factor is restored). Composes with [`Pfs::set_capacity`]:
+    /// the effective capacity is `capacity × fault_factor`.
+    pub fn set_fault_factor(&mut self, t: SimTime, channel: Channel, factor: f64) {
+        assert!(factor >= 0.0, "fault factor must be non-negative");
+        let done = self.advance_to(t);
+        assert!(
+            done.is_empty(),
+            "handle completions before set_fault_factor"
+        );
+        self.channels[channel.index()].fault_factor = factor;
+        self.reallocate(channel);
+    }
+
+    /// The current fault-plan capacity multiplier of a channel.
+    pub fn fault_factor(&self, channel: Channel) -> f64 {
+        self.channels[channel.index()].fault_factor
+    }
+
     /// Earliest future completion across both channels, if any flow is live.
     /// Returns `None` when idle or when all live flows are stalled (rate 0).
     ///
@@ -462,7 +487,7 @@ impl Pfs {
                     cap: g.cap,
                 })
                 .collect();
-            let fresh = crate::alloc::water_fill(ch.capacity, &demands);
+            let fresh = crate::alloc::water_fill(ch.capacity * ch.fault_factor, &demands);
             for (gi, (g, r)) in ch.groups.iter().zip(&fresh.rates).enumerate() {
                 assert!(
                     g.rate == *r,
@@ -507,7 +532,12 @@ impl Pfs {
             weight: g.weight,
             cap: g.cap,
         }));
-        water_fill_into(ch.capacity, &ch.demands, &mut ch.fill, &mut ch.rates);
+        water_fill_into(
+            ch.capacity * ch.fault_factor,
+            &ch.demands,
+            &mut ch.fill,
+            &mut ch.rates,
+        );
         for (g, &r) in ch.groups.iter_mut().zip(&ch.rates) {
             g.rate = r;
         }
@@ -694,6 +724,56 @@ mod tests {
         // 500 left at 50 B/s -> completes at 15 s.
         let done = p.advance_to(t(30.0));
         assert!((done[0].0.as_secs() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_factor_degrades_effective_capacity() {
+        let mut p = pfs(100.0);
+        p.submit(t(0.0), Channel::Write, FlowSpec::simple(1000.0));
+        // Half capacity from t = 5: 500 left at 50 B/s -> completes at 15 s.
+        p.set_fault_factor(t(5.0), Channel::Write, 0.5);
+        assert_eq!(p.fault_factor(Channel::Write), 0.5);
+        let done = p.advance_to(t(30.0));
+        assert!((done[0].0.as_secs() - 15.0).abs() < 1e-9);
+        p.validate_invariants();
+    }
+
+    #[test]
+    fn fault_outage_freezes_then_resumes() {
+        let mut p = pfs(100.0);
+        let id = p.submit(t(0.0), Channel::Write, FlowSpec::simple(100.0));
+        // Dead channel: the flow water-fills to rate 0 and completions freeze.
+        p.set_fault_factor(t(0.5), Channel::Write, 0.0);
+        assert_eq!(p.next_completion(), None);
+        assert!(p.advance_to(t(10.0)).is_empty());
+        // Recovery: 50 B remain at full speed -> completes at 10.5 s.
+        p.set_fault_factor(t(10.0), Channel::Write, 1.0);
+        let done = p.advance_to(t(20.0));
+        assert_eq!(done, vec![(t(10.5), id)]);
+    }
+
+    #[test]
+    fn fault_factor_composes_with_capacity_noise() {
+        let mut p = pfs(100.0);
+        p.submit(t(0.0), Channel::Write, FlowSpec::simple(1000.0));
+        p.set_fault_factor(t(0.0), Channel::Write, 0.5);
+        // Capacity noise halves the nominal too: effective 25 B/s.
+        p.set_capacity(t(0.0), Channel::Write, 50.0);
+        let done = p.advance_to(t(100.0));
+        assert!((done[0].0.as_secs() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neutral_fault_factor_changes_nothing() {
+        let mut a = pfs(100.0);
+        let mut b = pfs(100.0);
+        a.submit(t(0.0), Channel::Write, FlowSpec::simple(777.0));
+        b.submit(t(0.0), Channel::Write, FlowSpec::simple(777.0));
+        b.set_fault_factor(t(0.0), Channel::Write, 1.0);
+        assert_eq!(a.next_completion(), b.next_completion());
+        let da = a.advance_to(t(50.0));
+        let db = b.advance_to(t(50.0));
+        assert_eq!(da[0].0, db[0].0);
     }
 
     #[test]

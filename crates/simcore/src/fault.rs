@@ -1,0 +1,413 @@
+//! Deterministic, seeded fault plans.
+//!
+//! A [`FaultPlan`] is a schedule of adverse conditions a host simulation
+//! replays against an otherwise-healthy run: PFS channel capacity
+//! degradation or outage windows, transient per-flow I/O errors with POSIX
+//! error codes, straggler ranks, and injected request cancellations. Every
+//! element is derived from the plan's seed through [`stream_rng`], so a plan
+//! replays bit-identically and a plan with all magnitudes at their neutral
+//! values is indistinguishable from no plan at all (see
+//! [`FaultPlan::is_inert`]).
+//!
+//! The plan itself is runtime-agnostic: `pfsim` consumes the channel
+//! windows, `mpisim` consumes the error model, stragglers, cancellations and
+//! the [`RetryPolicy`] of its ADIO layer.
+
+use crate::rng::stream_rng;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which PFS channel a fault window applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultChannel {
+    /// The write channel only.
+    Write,
+    /// The read channel only.
+    Read,
+    /// Both channels (whole-file-system outage or congestion).
+    Both,
+}
+
+impl FaultChannel {
+    /// Whether the window applies to the channel with the given index
+    /// (0 = write, 1 = read; mirrors `pfsim::Channel::index`).
+    pub fn applies_to(self, index: usize) -> bool {
+        match self {
+            FaultChannel::Write => index == 0,
+            FaultChannel::Read => index == 1,
+            FaultChannel::Both => true,
+        }
+    }
+}
+
+/// A capacity degradation window: over `[start, end)` the channel's nominal
+/// capacity is multiplied by `factor` (0 = hard outage, completions freeze;
+/// 1 = no effect). Overlapping windows on the same channel compound
+/// multiplicatively.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelFaultWindow {
+    /// Affected channel(s).
+    pub channel: FaultChannel,
+    /// Window start, seconds (inclusive).
+    pub start: f64,
+    /// Window end, seconds (exclusive).
+    pub end: f64,
+    /// Capacity multiplier in `[0, 1]` while the window is active.
+    pub factor: f64,
+}
+
+/// POSIX-style error codes for injected I/O failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoErrorKind {
+    /// Generic I/O error (`EIO`).
+    Io,
+    /// Out of space on the target (`ENOSPC`).
+    NoSpace,
+    /// Operation timed out (`ETIMEDOUT`).
+    Timeout,
+    /// Stale file handle — e.g. a failed-over PFS server (`ESTALE`).
+    Stale,
+    /// Request cancelled by the fault plan (`ECANCELED`).
+    Cancelled,
+}
+
+impl IoErrorKind {
+    /// The numeric errno the kind models.
+    pub fn code(self) -> i32 {
+        match self {
+            IoErrorKind::Io => 5,
+            IoErrorKind::NoSpace => 28,
+            IoErrorKind::Timeout => 110,
+            IoErrorKind::Stale => 116,
+            IoErrorKind::Cancelled => 125,
+        }
+    }
+
+    /// The errno's symbolic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoErrorKind::Io => "EIO",
+            IoErrorKind::NoSpace => "ENOSPC",
+            IoErrorKind::Timeout => "ETIMEDOUT",
+            IoErrorKind::Stale => "ESTALE",
+            IoErrorKind::Cancelled => "ECANCELED",
+        }
+    }
+}
+
+/// Transient sub-request failure model: each sub-request transfer fails with
+/// probability `prob`, drawing its error code uniformly from `kinds`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IoErrorModel {
+    /// Per-sub-request failure probability in `[0, 1]`.
+    pub prob: f64,
+    /// Candidate error codes (uniform choice). Must be non-empty when
+    /// `prob > 0`.
+    pub kinds: Vec<IoErrorKind>,
+}
+
+impl IoErrorModel {
+    /// A model failing each sub-request with probability `prob` as `EIO`.
+    pub fn with_prob(prob: f64) -> Self {
+        IoErrorModel {
+            prob,
+            kinds: vec![IoErrorKind::Io],
+        }
+    }
+
+    /// Draws one sub-request outcome: `Some(kind)` on failure.
+    ///
+    /// Draws nothing from `rng` when `prob` is 0, so an inert model cannot
+    /// perturb downstream draws.
+    pub fn draw(&self, rng: &mut SmallRng) -> Option<IoErrorKind> {
+        if self.prob <= 0.0 {
+            return None;
+        }
+        assert!(
+            !self.kinds.is_empty(),
+            "error model needs at least one kind"
+        );
+        if rng.gen::<f64>() < self.prob {
+            let i = rng.gen_range(0..self.kinds.len());
+            Some(self.kinds[i])
+        } else {
+            None
+        }
+    }
+}
+
+/// A straggler rank: every compute phase of `rank` takes `factor`× its
+/// (noise-adjusted) nominal duration. `factor` 1 is a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StragglerSpec {
+    /// Affected rank.
+    pub rank: usize,
+    /// Compute-duration multiplier (≥ 1 slows the rank down).
+    pub factor: f64,
+}
+
+/// Injected cancellation of one asynchronous request: the `op_index`-th
+/// async submit (0-based) of `rank` is cancelled by the runtime after its
+/// in-flight sub-request, surfacing as an [`IoErrorKind::Cancelled`] op
+/// error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CancelSpec {
+    /// Affected rank.
+    pub rank: usize,
+    /// Index of the async submission on that rank (0-based).
+    pub op_index: u64,
+}
+
+/// Bounded deterministic exponential backoff for sub-request retries.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries per sub-request before the op fails.
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds (virtual time).
+    pub base_backoff: f64,
+    /// Multiplier applied per subsequent retry.
+    pub multiplier: f64,
+    /// Upper bound on a single backoff sleep, seconds.
+    pub max_backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: 1e-3,
+            multiplier: 2.0,
+            max_backoff: 0.1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff sleep before retry number `retry` (0-based): deterministic
+    /// `base·multiplier^retry`, capped at `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> f64 {
+        debug_assert!(self.base_backoff >= 0.0 && self.multiplier >= 0.0);
+        (self.base_backoff * self.multiplier.powi(retry as i32)).min(self.max_backoff)
+    }
+}
+
+/// A seeded schedule of fault events. `FaultPlan::default()` is the empty
+/// (fault-free) plan.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all fault-related RNG streams (independent of the world's
+    /// noise streams).
+    pub seed: u64,
+    /// Capacity degradation / outage windows.
+    pub channel_faults: Vec<ChannelFaultWindow>,
+    /// Transient sub-request error model (`None` = no injected errors).
+    pub io_errors: Option<IoErrorModel>,
+    /// Straggler ranks.
+    pub stragglers: Vec<StragglerSpec>,
+    /// Injected async-request cancellations.
+    pub cancellations: Vec<CancelSpec>,
+    /// Retry/backoff policy of the consuming ADIO layer.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// The empty (fault-free) plan.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan cannot affect a run: no active capacity windows, no
+    /// error probability, no effective stragglers, no cancellations. Inert
+    /// plans must reproduce the fault-free run bit-for-bit, so consumers
+    /// skip scheduling anything for inert components.
+    pub fn is_inert(&self) -> bool {
+        self.active_channel_faults().next().is_none()
+            && !self.io_errors_active()
+            && self.stragglers.iter().all(|s| s.factor == 1.0)
+            && self.cancellations.is_empty()
+    }
+
+    /// The capacity windows that can actually change behaviour (non-neutral
+    /// factor over a non-empty span).
+    pub fn active_channel_faults(&self) -> impl Iterator<Item = &ChannelFaultWindow> {
+        self.channel_faults
+            .iter()
+            .filter(|w| w.factor != 1.0 && w.end > w.start)
+    }
+
+    /// Whether the transient-error model can fire.
+    pub fn io_errors_active(&self) -> bool {
+        self.io_errors.as_ref().is_some_and(|m| m.prob > 0.0)
+    }
+
+    /// The compound capacity factor on channel `index` (0 = write, 1 = read)
+    /// at time `t`: the product of every active window containing `t`
+    /// (windows are right-open).
+    pub fn capacity_factor(&self, index: usize, t: f64) -> f64 {
+        self.active_channel_faults()
+            .filter(|w| w.channel.applies_to(index) && w.start <= t && t < w.end)
+            .map(|w| w.factor)
+            .product()
+    }
+
+    /// The compound compute-duration multiplier for `rank` (1 when the rank
+    /// has no straggler entry).
+    pub fn straggler_factor(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.rank == rank && s.factor != 1.0)
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Whether the `op_index`-th async submit of `rank` is cancelled.
+    pub fn cancels(&self, rank: usize, op_index: u64) -> bool {
+        self.cancellations
+            .iter()
+            .any(|c| c.rank == rank && c.op_index == op_index)
+    }
+
+    /// The RNG for fault decisions of logical stream `stream` (e.g. one I/O
+    /// task). Independent of the world's noise streams by construction: the
+    /// plan seed is salted before mixing.
+    pub fn stream(&self, stream: u64) -> SmallRng {
+        stream_rng(self.seed ^ 0x00FA_017F_A017, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(FaultPlan::default().is_inert());
+        assert!(FaultPlan::empty().is_inert());
+    }
+
+    #[test]
+    fn neutral_magnitudes_stay_inert() {
+        let plan = FaultPlan {
+            channel_faults: vec![ChannelFaultWindow {
+                channel: FaultChannel::Both,
+                start: 1.0,
+                end: 2.0,
+                factor: 1.0,
+            }],
+            io_errors: Some(IoErrorModel::with_prob(0.0)),
+            stragglers: vec![StragglerSpec {
+                rank: 0,
+                factor: 1.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_inert());
+        assert_eq!(plan.capacity_factor(0, 1.5), 1.0);
+        assert_eq!(plan.straggler_factor(0), 1.0);
+    }
+
+    #[test]
+    fn outage_window_is_right_open() {
+        let plan = FaultPlan {
+            channel_faults: vec![ChannelFaultWindow {
+                channel: FaultChannel::Write,
+                start: 1.0,
+                end: 2.0,
+                factor: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_inert());
+        assert_eq!(plan.capacity_factor(0, 0.5), 1.0);
+        assert_eq!(plan.capacity_factor(0, 1.0), 0.0);
+        assert_eq!(plan.capacity_factor(0, 1.999), 0.0);
+        assert_eq!(plan.capacity_factor(0, 2.0), 1.0);
+        // Read channel untouched.
+        assert_eq!(plan.capacity_factor(1, 1.5), 1.0);
+    }
+
+    #[test]
+    fn overlapping_windows_compound() {
+        let w = |start: f64, end: f64, factor: f64| ChannelFaultWindow {
+            channel: FaultChannel::Both,
+            start,
+            end,
+            factor,
+        };
+        let plan = FaultPlan {
+            channel_faults: vec![w(0.0, 10.0, 0.5), w(5.0, 6.0, 0.5)],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.capacity_factor(0, 1.0), 0.5);
+        assert_eq!(plan.capacity_factor(1, 5.5), 0.25);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_bounded() {
+        let r = RetryPolicy {
+            max_retries: 5,
+            base_backoff: 1e-3,
+            multiplier: 2.0,
+            max_backoff: 3e-3,
+        };
+        assert_eq!(r.backoff(0), 1e-3);
+        assert_eq!(r.backoff(1), 2e-3);
+        assert_eq!(r.backoff(2), 3e-3); // capped
+        assert_eq!(r.backoff(10), 3e-3);
+    }
+
+    #[test]
+    fn error_draws_are_deterministic() {
+        let model = IoErrorModel {
+            prob: 0.5,
+            kinds: vec![IoErrorKind::Io, IoErrorKind::Timeout, IoErrorKind::Stale],
+        };
+        let plan = FaultPlan {
+            seed: 7,
+            io_errors: Some(model.clone()),
+            ..FaultPlan::default()
+        };
+        let draw_seq = || -> Vec<Option<IoErrorKind>> {
+            let mut rng = plan.stream(42);
+            (0..64).map(|_| model.draw(&mut rng)).collect()
+        };
+        let a = draw_seq();
+        assert_eq!(a, draw_seq());
+        assert!(a.iter().any(|d| d.is_some()), "prob 0.5 should fire in 64");
+        assert!(a.iter().any(|d| d.is_none()));
+    }
+
+    #[test]
+    fn zero_prob_draws_nothing_from_rng() {
+        let model = IoErrorModel::with_prob(0.0);
+        let mut a = stream_rng(1, 2);
+        let mut b = stream_rng(1, 2);
+        assert_eq!(model.draw(&mut a), None);
+        // `a` must be untouched: next draws match a virgin stream.
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn error_codes_are_posix() {
+        assert_eq!(IoErrorKind::Io.code(), 5);
+        assert_eq!(IoErrorKind::NoSpace.code(), 28);
+        assert_eq!(IoErrorKind::Cancelled.name(), "ECANCELED");
+    }
+
+    #[test]
+    fn cancellation_lookup() {
+        let plan = FaultPlan {
+            cancellations: vec![CancelSpec {
+                rank: 2,
+                op_index: 1,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.cancels(2, 1));
+        assert!(!plan.cancels(2, 0));
+        assert!(!plan.cancels(1, 1));
+        assert!(!plan.is_inert());
+    }
+}

@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+/// Seeded fault plans replayed by the runtime crates (fault injection).
+pub mod fault;
 mod queue;
 mod rng;
 mod series;
@@ -22,6 +24,10 @@ mod series;
 pub mod stats;
 mod time;
 
+pub use fault::{
+    CancelSpec, ChannelFaultWindow, FaultChannel, FaultPlan, IoErrorKind, IoErrorModel,
+    RetryPolicy, StragglerSpec,
+};
 pub use queue::{EventKey, EventQueue};
 pub use rng::{rank_phase_stream, stream_rng, Noise};
 pub use series::StepSeries;

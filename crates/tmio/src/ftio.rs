@@ -125,18 +125,23 @@ pub fn detect_period(
     // Confidence counts the fundamental and its harmonics (±1 bin of
     // leakage each): a periodic burst train concentrates its energy there
     // even though single-bin energy is low for impulse-like signals.
-    let mut dominant = 0.0;
+    // Collect the contributing bins into a set first: for small `k_star`
+    // (≤ 2) the ±1 windows of consecutive harmonics overlap, and summing
+    // per-window would count shared bins twice — inflating `dominant`
+    // beyond `total` (masked only by the final `.min(1.0)` cap).
+    let mut bins = std::collections::BTreeSet::new();
     let mut h = k_star;
     while h < half {
-        dominant += power[h];
+        bins.insert(h);
         if h > 1 {
-            dominant += power[h - 1];
+            bins.insert(h - 1);
         }
         if h + 1 < half {
-            dominant += power[h + 1];
+            bins.insert(h + 1);
         }
         h += k_star;
     }
+    let dominant: f64 = bins.iter().map(|&k| power[k]).sum();
     let frequency = k_star as f64 / horizon;
     Some(PeriodEstimate {
         period: 1.0 / frequency,
@@ -224,6 +229,72 @@ mod tests {
         let s = square_wave(20.0, 0.25, 5e8, 400.0);
         let est = detect_period(&s, 0.0, 400.0, 2048).expect("periodic");
         assert!((est.period - 20.0).abs() < 1.5, "period {}", est.period);
+    }
+
+    #[test]
+    fn small_fundamental_confidence_not_double_counted() {
+        // One long pulse: broad low-frequency spectrum peaking at bin 1
+        // (k_star = 1), where consecutive harmonics' ±1 leakage windows all
+        // overlap. The old per-window sum counts interior bins up to three
+        // times, so the *uncapped* confidence exceeds 1; the set-based sum
+        // is a true energy fraction and stays ≤ 1.
+        let mut s = StepSeries::new();
+        s.push(SimTime::from_secs(0.0), 1e9);
+        s.push(SimTime::from_secs(40.0), 0.0);
+        let (from, to, n) = (0.0, 100.0, 64usize);
+        let est = detect_period(&s, from, to, n).expect("spectral content");
+
+        // Recompute the spectrum exactly as detect_period does.
+        let bin = (to - from) / n as f64;
+        let samples: Vec<f64> = (0..n)
+            .map(|k| {
+                let a = from + k as f64 * bin;
+                s.integral(SimTime::from_secs(a), SimTime::from_secs(a + bin)) / bin
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mut re: Vec<f64> = samples.iter().map(|v| v - mean).collect();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        let half = n / 2;
+        let power: Vec<f64> = (0..half).map(|k| re[k] * re[k] + im[k] * im[k]).collect();
+        let k_star = power
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(k_star <= 2, "pulse fundamental must be small, got {k_star}");
+        let total: f64 = power.iter().skip(1).sum();
+
+        // The pre-fix per-window sum (overlapping windows double-count).
+        let mut old_dominant = 0.0;
+        let mut h = k_star;
+        while h < half {
+            old_dominant += power[h];
+            if h > 1 {
+                old_dominant += power[h - 1];
+            }
+            if h + 1 < half {
+                old_dominant += power[h + 1];
+            }
+            h += k_star;
+        }
+        assert!(
+            old_dominant / total > 1.0,
+            "uncapped legacy confidence must exceed 1 here: {}",
+            old_dominant / total
+        );
+        assert!(
+            est.confidence <= 1.0 && est.confidence > 0.0,
+            "set-based confidence is a true fraction: {}",
+            est.confidence
+        );
+        assert!(
+            est.confidence < old_dominant / total,
+            "dedup must strictly reduce the overlapped sum"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod strategy;
 pub mod trace;
 mod tracer;
 
-pub use report::{Decomposition, Report};
+pub use report::{Decomposition, FaultEventRecord, Report};
 pub use strategy::{Strategy, StrategyState, LIMIT_FLOOR};
 pub use tracer::{
     Aggregation, AsyncSpan, ChannelKind, PhaseRecord, PostOverheadModel, SyncInterval, TeMode,

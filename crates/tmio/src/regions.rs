@@ -39,6 +39,16 @@ pub fn sweep(intervals: &[Interval]) -> StepSeries {
             .expect("NaN-free")
             .then(a.1.partial_cmp(&b.1).expect("NaN-free"))
     });
+    // Residue guard scale: cancellation residue is proportional to the
+    // magnitudes that were summed, so the threshold must be *relative* to
+    // the largest interval value. An absolute cutoff would silently zero
+    // legitimate small-magnitude metrics (normalized or per-byte values
+    // below the cutoff).
+    let max_abs = intervals
+        .iter()
+        .map(|iv| iv.value.abs())
+        .fold(0.0, f64::max);
+    let residue = 1e-9 * max_abs;
     let mut series = StepSeries::new();
     let mut sum = 0.0;
     let mut i = 0;
@@ -49,7 +59,7 @@ pub fn sweep(intervals: &[Interval]) -> StepSeries {
             i += 1;
         }
         // Guard tiny FP residue at the end of the sweep.
-        if sum.abs() < 1e-9 {
+        if sum.abs() <= residue {
             sum = 0.0;
         }
         series.push(SimTime::from_secs(t), sum);
@@ -185,6 +195,47 @@ mod tests {
         }];
         let s = sweep(&intervals);
         assert_eq!(s.max_value(), 0.0);
+    }
+
+    #[test]
+    fn tiny_magnitudes_survive_the_residue_guard() {
+        // Values far below the old absolute 1e-9 cutoff (e.g. normalized or
+        // per-byte metrics): the guard must scale with the input instead of
+        // zeroing the whole sweep.
+        let intervals = [
+            Interval {
+                ts: 0.0,
+                te: 2.0,
+                value: 1e-12,
+            },
+            Interval {
+                ts: 1.0,
+                te: 3.0,
+                value: 3e-12,
+            },
+        ];
+        let s = sweep(&intervals);
+        assert_eq!(s.value_at(t(0.5)), 1e-12);
+        assert_eq!(s.value_at(t(1.5)), 4e-12);
+        assert_eq!(s.value_at(t(2.5)), 3e-12);
+        assert_eq!(s.value_at(t(4.0)), 0.0);
+        assert_eq!(max_region(&intervals), 4e-12);
+    }
+
+    #[test]
+    fn residue_guard_scales_with_magnitude() {
+        // Large stacked values cancel with FP residue well above 1e-9
+        // absolute; the relative guard still snaps the tail to exactly zero.
+        let mut intervals = Vec::new();
+        for i in 0..10 {
+            intervals.push(Interval {
+                ts: i as f64 * 0.1,
+                te: 10.0 + i as f64 * 0.7,
+                value: 1e10 + (i as f64) * 0.3 + 0.1,
+            });
+        }
+        let s = sweep(&intervals);
+        assert_eq!(s.value_at(t(20.0)), 0.0, "tail must be exactly zero");
     }
 
     #[test]

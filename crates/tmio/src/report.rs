@@ -30,6 +30,33 @@ pub struct Report {
     pub peri_overhead: f64,
     /// Modeled post-runtime overhead (finalize gather), seconds.
     pub post_overhead: f64,
+    /// Fault events observed during the run (retries and terminal op
+    /// errors); empty for fault-free runs.
+    pub faults: Vec<FaultEventRecord>,
+    /// Total retry backoff time across ranks, seconds (fault injection).
+    pub retry_time: f64,
+}
+
+/// One observed fault event: a sub-request retry or a terminal op error.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEventRecord {
+    /// Virtual time of the event, seconds.
+    pub t: f64,
+    /// Affected rank.
+    pub rank: usize,
+    /// Request tag for async ops; `None` for blocking calls.
+    pub tag: Option<u32>,
+    /// Symbolic errno name (e.g. `"EIO"`).
+    pub kind: String,
+    /// Numeric errno.
+    pub code: i32,
+    /// Retry number (1-based) for retries; total attempts for terminal
+    /// errors.
+    pub retry: u32,
+    /// Backoff slept before the retry, seconds (0 for terminal errors).
+    pub backoff: f64,
+    /// True when the op failed terminally (retries exhausted / cancelled).
+    pub terminal: bool,
 }
 
 /// Aggregate split of the application time (the stacked bars of
@@ -50,6 +77,9 @@ pub struct Decomposition {
     pub async_read_exploit: f64,
     /// Remaining time: compute/communication with no I/O in flight.
     pub compute_io_free: f64,
+    /// Retry backoff sleeps of the I/O threads (fault injection); zero in
+    /// fault-free runs.
+    pub retry_degraded: f64,
     /// Total rank-seconds (Σ rank end times).
     pub total: f64,
 }
@@ -68,6 +98,24 @@ impl Decomposition {
             100.0 * self.async_write_exploit / t,
             100.0 * self.async_read_exploit / t,
             100.0 * self.compute_io_free / t,
+        ]
+    }
+
+    /// The stacked percentages with the retry/degraded slice appended (for
+    /// fault-injected runs). The first seven entries match
+    /// [`Decomposition::percentages`] when no faults fired.
+    pub fn percentages_with_faults(&self) -> [f64; 8] {
+        let p = self.percentages();
+        let t = self.total.max(1e-12);
+        [
+            p[0],
+            p[1],
+            p[2],
+            p[3],
+            p[4],
+            p[5],
+            p[6],
+            100.0 * self.retry_degraded / t,
         ]
     }
 
@@ -173,6 +221,7 @@ impl Report {
                 }
             }
         }
+        d.retry_degraded = self.retry_time;
         d.total = self.rank_end.iter().sum();
         d.compute_io_free = (d.total
             - d.sync_write
@@ -180,7 +229,8 @@ impl Report {
             - d.async_write_lost
             - d.async_read_lost
             - d.async_write_exploit
-            - d.async_read_exploit)
+            - d.async_read_exploit
+            - d.retry_degraded)
             .max(0.0);
         d
     }
@@ -267,6 +317,8 @@ mod tests {
             calls: 6,
             peri_overhead: 12e-6,
             post_overhead: 0.05,
+            faults: Vec::new(),
+            retry_time: 0.0,
         }
     }
 
@@ -308,6 +360,39 @@ mod tests {
         assert_eq!(d.compute_io_free, 8.0 - 1.0 - 0.5);
         let p = d.percentages();
         assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_time_becomes_its_own_slice() {
+        let mut r = sample_report();
+        r.retry_time = 0.5;
+        let d = r.decomposition();
+        assert_eq!(d.retry_degraded, 0.5);
+        // Backoff sleeps come out of the I/O-free remainder.
+        assert_eq!(d.compute_io_free, 8.0 - 1.0 - 0.5 - 0.5);
+        let p7 = d.percentages();
+        let p8 = d.percentages_with_faults();
+        assert_eq!(&p8[..7], &p7[..], "seven-way split must not change");
+        assert!((p8.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_records_roundtrip_json() {
+        let mut r = sample_report();
+        r.faults.push(FaultEventRecord {
+            t: 1.25,
+            rank: 1,
+            tag: Some(3),
+            kind: "EIO".into(),
+            code: 5,
+            retry: 2,
+            backoff: 2e-3,
+            terminal: false,
+        });
+        r.retry_time = 2e-3;
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.faults, r.faults);
+        assert_eq!(back.retry_time, r.retry_time);
     }
 
     #[test]

@@ -268,6 +268,8 @@ pub struct Tracer {
     windows: Vec<ThroughputWindow>,
     spans: Vec<AsyncSpan>,
     syncs: Vec<SyncInterval>,
+    faults: Vec<crate::report::FaultEventRecord>,
+    retry_time: f64,
     calls: u64,
 }
 
@@ -282,6 +284,8 @@ impl Tracer {
             windows: Vec::new(),
             spans: Vec::new(),
             syncs: Vec::new(),
+            faults: Vec::new(),
+            retry_time: 0.0,
             calls: 0,
         }
     }
@@ -364,6 +368,8 @@ impl Tracer {
             calls: self.calls,
             peri_overhead,
             post_overhead,
+            faults: self.faults,
+            retry_time: self.retry_time,
         }
     }
 }
@@ -484,6 +490,48 @@ impl IoHooks for Tracer {
             channel: channel.into(),
         });
         self.call_overhead()
+    }
+
+    fn on_io_retry(
+        &mut self,
+        t: SimTime,
+        rank: usize,
+        tag: Option<ReqTag>,
+        kind: simcore::IoErrorKind,
+        retry: u32,
+        backoff: f64,
+    ) {
+        self.retry_time += backoff;
+        self.faults.push(crate::report::FaultEventRecord {
+            t: t.as_secs(),
+            rank,
+            tag: tag.map(|t| t.0),
+            kind: kind.name().to_string(),
+            code: kind.code(),
+            retry,
+            backoff,
+            terminal: false,
+        });
+    }
+
+    fn on_op_error(
+        &mut self,
+        t: SimTime,
+        rank: usize,
+        tag: Option<ReqTag>,
+        kind: simcore::IoErrorKind,
+        attempts: u32,
+    ) {
+        self.faults.push(crate::report::FaultEventRecord {
+            t: t.as_secs(),
+            rank,
+            tag: tag.map(|t| t.0),
+            kind: kind.name().to_string(),
+            code: kind.code(),
+            retry: attempts,
+            backoff: 0.0,
+            terminal: true,
+        });
     }
 
     fn on_rank_done(&mut self, t: SimTime, rank: usize) {

@@ -56,7 +56,7 @@ fn main() {
         write_capacity: 1e9,
         read_capacity: 1e9,
     };
-    let mut buffered = direct;
+    let mut buffered = direct.clone();
     buffered.burst_buffer = Some(bb);
     let d = run_hacc_sync(&direct, &hacc);
     let b = run_hacc_sync(&buffered, &hacc);

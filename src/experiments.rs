@@ -9,11 +9,14 @@ use hpcwl::hacc::HaccConfig;
 use hpcwl::wacomm::WacommConfig;
 use mpisim::{Program, RunSummary, World, WorldConfig};
 use pfsim::PfsConfig;
-use simcore::{Noise, StepSeries};
+use simcore::{FaultPlan, Noise, StepSeries};
 use tmio::{Report, Strategy, Tracer, TracerConfig};
 
 /// Common experiment configuration (the knobs the paper varies).
-#[derive(Clone, Copy, Debug)]
+///
+/// Not `Copy`: the embedded [`FaultPlan`] owns its schedules. Clone
+/// explicitly when deriving configs in sweeps.
+#[derive(Clone, Debug)]
 pub struct ExpConfig {
     /// MPI ranks.
     pub n_ranks: usize,
@@ -43,6 +46,9 @@ pub struct ExpConfig {
     pub aggregation: tmio::Aggregation,
     /// Record PFS rate series (disable in large sweeps).
     pub record_pfs: bool,
+    /// Seeded fault schedule (the chaos harness); the default empty plan
+    /// reproduces the fault-free run bit-for-bit.
+    pub faults: FaultPlan,
 }
 
 impl ExpConfig {
@@ -65,12 +71,19 @@ impl ExpConfig {
             te_mode: tmio::TeMode::FirstWait,
             aggregation: tmio::Aggregation::Sum,
             record_pfs: true,
+            faults: FaultPlan::default(),
         }
     }
 
     /// Disables compute noise (exact analytic checks in tests).
     pub fn exact(mut self) -> Self {
         self.compute_noise = Noise::None;
+        self
+    }
+
+    /// Installs a fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -86,6 +99,7 @@ impl ExpConfig {
         wc.limit_sync_ops = self.limit_sync_ops;
         wc.burst_buffer = self.burst_buffer;
         wc.record_pfs = self.record_pfs;
+        wc.faults = self.faults.clone();
         wc
     }
 
