@@ -1,10 +1,13 @@
-//! Figure-regeneration harness: one sub-command per figure in the paper.
+//! Figure-regeneration harness: a thin frontend over the scenario
+//! registry ([`bench::registry`]).
 //!
 //! ```text
-//! cargo run -p bench --release --bin figures -- all          # everything
-//! cargo run -p bench --release --bin figures -- fig09        # one figure
-//! cargo run -p bench --release --bin figures -- --full all   # paper scale
-//! cargo run -p bench --release --bin figures -- --jobs 1 all # force serial
+//! cargo run -p bench --release --bin figures                   # everything
+//! cargo run -p bench --release --bin figures -- --list         # enumerate
+//! cargo run -p bench --release --bin figures -- fig09          # one figure
+//! cargo run -p bench --release --bin figures -- --only 'fig1*' # glob
+//! cargo run -p bench --release --bin figures -- --full         # paper scale
+//! cargo run -p bench --release --bin figures -- --jobs 1       # force serial
 //! ```
 //!
 //! Each figure prints the series/rows the paper plots and writes a CSV to
@@ -12,515 +15,6 @@
 //! (`--jobs N` or `$IOBTS_JOBS` override the width; output is byte-identical
 //! at any width). Paper-vs-measured notes live in EXPERIMENTS.md.
 
-use bench::scenarios;
-use bench::{multi_series_rows, sweeps, write_csv};
-
-use tmio::Strategy;
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let mut wanted: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--jobs" {
-            let n = it
-                .next()
-                .and_then(|v| v.parse::<usize>().ok())
-                .expect("--jobs needs a positive integer");
-            bench::par::set_jobs(n.max(1));
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            bench::par::set_jobs(v.parse::<usize>().expect("--jobs needs an integer").max(1));
-        } else if !a.starts_with("--") {
-            wanted.push(a.as_str());
-        }
-    }
-    let all = wanted.is_empty() || wanted.contains(&"all");
-    let want = |id: &str| all || wanted.contains(&id);
-
-    let t0 = std::time::Instant::now();
-    if want("fig01") || want("fig02") {
-        fig01_02();
-    }
-    if want("fig03") {
-        fig03();
-    }
-    if want("fig04") {
-        fig04();
-    }
-    if want("fig05") || want("fig06") {
-        fig05_06(full);
-    }
-    if want("fig07") {
-        fig07(full);
-    }
-    if want("fig08") {
-        fig08();
-    }
-    if want("fig09") {
-        fig09();
-    }
-    if want("fig10") {
-        fig10(full);
-    }
-    if want("fig11") {
-        fig11(full);
-    }
-    if want("fig12") {
-        fig12();
-    }
-    if want("fig13") {
-        fig13(full);
-    }
-    if want("fig14") {
-        fig14(full);
-    }
-    eprintln!("\n[figures done in {:.1} s]", t0.elapsed().as_secs_f64());
-}
-
-fn header(id: &str, what: &str) {
-    println!("\n================================================================");
-    println!("{id}: {what}");
-    println!("================================================================");
-}
-
-/// Figs. 1 & 2: motivation — 8 jobs, job 4 async, limited during contention.
-fn fig01_02() {
-    header(
-        "fig01",
-        "job runtimes with/without limiting job 4 (ElastiSim study)",
-    );
-    let out = scenarios::motivation();
-    let mut rows = Vec::new();
-    println!(
-        "{:<6} {:>6} {:>12} {:>12} {:>8}",
-        "job", "nodes", "w/o [s]", "with [s]", "delta"
-    );
-    for (a, b) in out.free.jobs.iter().zip(&out.limited.jobs) {
-        let d = b.runtime() - a.runtime();
-        println!(
-            "{:<6} {:>6} {:>12.1} {:>12.1} {:>+8.1}",
-            a.name,
-            a.nodes,
-            a.runtime(),
-            b.runtime(),
-            d
-        );
-        rows.push(format!(
-            "{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
-            a.name,
-            a.nodes,
-            a.start,
-            a.end,
-            b.start,
-            b.end,
-            a.runtime(),
-            b.runtime()
-        ));
-    }
-    let p = write_csv(
-        "fig01_jobs",
-        "job,nodes,start_free,end_free,start_lim,end_lim,runtime_free,runtime_lim",
-        &rows,
-    );
-    println!("-> {}", p.display());
-
-    header("fig02", "total PFS bandwidth over time for both cases");
-    let horizon = out.free.makespan.max(out.limited.makespan);
-    let rows = multi_series_rows(
-        &[&out.free.total_bandwidth, &out.limited.total_bandwidth],
-        0.0,
-        horizon,
-        240,
-    );
-    for r in rows.iter().step_by(24) {
-        println!("{r}");
-    }
-    println!(
-        "  w/o  {}",
-        bench::sparkline(&out.free.total_bandwidth, 0.0, horizon, 72)
-    );
-    println!(
-        "  with {}",
-        bench::sparkline(&out.limited.total_bandwidth, 0.0, horizon, 72)
-    );
-    let p = write_csv(
-        "fig02_bandwidth",
-        "t,without_limit_Bps,with_limit_Bps",
-        &rows,
-    );
-    println!("-> {}", p.display());
-    // Job-4 band for the stacked view.
-    let rows4 = multi_series_rows(
-        &[&out.free.job_bandwidth[4], &out.limited.job_bandwidth[4]],
-        0.0,
-        horizon,
-        240,
-    );
-    let p = write_csv("fig02_job4", "t,job4_free_Bps,job4_limited_Bps", &rows4);
-    println!("-> {}", p.display());
-}
-
-/// Fig. 3: rank-0 timeline — Δt (available window) vs Δtᵃ (actual I/O).
-fn fig03() {
-    header("fig03", "rank 0 async I/O during compute phases: Δt vs Δtᵃ");
-    let out = scenarios::rank_timeline();
-    println!(
-        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>12}",
-        "phase", "submit", "complete", "wait@", "Δt", "Δtᵃ"
-    );
-    let mut rows = Vec::new();
-    let mut spans: Vec<_> = out.report.spans.iter().filter(|s| s.rank == 0).collect();
-    spans.sort_by(|a, b| a.submit.partial_cmp(&b.submit).unwrap());
-    for (j, s) in spans.iter().enumerate() {
-        let dt = s.wait_enter - s.submit;
-        let dta = s.complete - s.submit;
-        println!(
-            "{:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12.4}",
-            j, s.submit, s.complete, s.wait_enter, dt, dta
-        );
-        rows.push(format!(
-            "{j},{},{},{},{dt},{dta}",
-            s.submit, s.complete, s.wait_enter
-        ));
-    }
-    let p = write_csv(
-        "fig03_timeline",
-        "phase,submit,complete,wait_enter,dt,dta",
-        &rows,
-    );
-    println!("-> {}", p.display());
-    println!("(Δtᵃ < Δt on every phase: the I/O is fully hidden, as in Fig. 3)");
-}
-
-/// Fig. 4: the worked region example — B_r over five regions.
-fn fig04() {
-    header("fig04", "region sweep worked example (Eq. 3)");
-    use tmio::regions::{sweep, Interval};
-    let intervals = [
-        Interval {
-            ts: 0.0,
-            te: 4.0,
-            value: 1.0,
-        },
-        Interval {
-            ts: 1.0,
-            te: 6.0,
-            value: 2.0,
-        },
-        Interval {
-            ts: 2.0,
-            te: 8.0,
-            value: 4.0,
-        },
-    ];
-    println!("inputs: B1 over [0,4)=1, B2 over [1,6)=2, B0 over [2,8)=4");
-    let s = sweep(&intervals);
-    let mut rows = Vec::new();
-    for &(t, v) in s.points() {
-        println!("  region starts at t={t}: B_r = {v}");
-        rows.push(format!("{t},{v}"));
-    }
-    let p = write_csv("fig04_regions", "ts_r,B_r", &rows);
-    println!("-> {}", p.display());
-}
-
-/// Figs. 5 & 6: HACC-IO runtime and overhead split vs ranks.
-fn fig05_06(full: bool) {
-    header("fig05", "HACC-IO runtime (Total/App/Overhead) vs ranks");
-    let particles = if full { 1_000_000 } else { 100_000 };
-    let ranks = sweeps::hacc_ranks(full);
-    let rows = scenarios::hacc_overheads(&ranks, particles);
-    println!(
-        "{:>6} {:<7} {:>10} {:>10} {:>10} {:>10}",
-        "ranks", "run", "app [s]", "peri [s]", "post [s]", "total [s]"
-    );
-    for r in &rows {
-        println!(
-            "{:>6} {:<7} {:>10.2} {:>10.4} {:>10.3} {:>10.2}",
-            r.ranks, r.run, r.app, r.peri, r.post, r.total
-        );
-    }
-    let csv = bench::overhead_csv_rows(&rows);
-    let p = write_csv(
-        "fig05_06_overheads",
-        "ranks,run,app_s,peri_s,post_s,total_s,visible_io_pct,compute_pct",
-        &csv,
-    );
-    println!("-> {}", p.display());
-
-    header("fig06", "HACC-IO total-time distribution (direct vs none)");
-    println!(
-        "{:>6} {:<7} {:>10} {:>10} {:>12} {:>10}",
-        "ranks", "run", "post %", "peri %", "visible I/O %", "compute %"
-    );
-    for r in &rows {
-        let total_ranktime = r.app * r.ranks as f64 + r.post * r.ranks as f64;
-        let post_pct = 100.0 * r.post * r.ranks as f64 / total_ranktime.max(1e-12);
-        let peri_pct = 100.0 * r.peri / total_ranktime.max(1e-12);
-        println!(
-            "{:>6} {:<7} {:>10.2} {:>10.4} {:>12.2} {:>10.2}",
-            r.ranks, r.run, post_pct, peri_pct, r.visible_pct, r.compute_pct
-        );
-    }
-    println!("(peri-runtime < 0.1 %, post-runtime grows with ranks — the Fig. 6 shape)");
-}
-
-fn print_dist(rows: &[scenarios::DistRow]) -> Vec<String> {
-    println!(
-        "{:>6} {:>4} {:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
-        "ranks",
-        "run",
-        "strategy",
-        "syncW%",
-        "syncR%",
-        "lostW%",
-        "lostR%",
-        "explW%",
-        "explR%",
-        "compute%",
-        "app [s]"
-    );
-    for r in rows {
-        println!(
-            "{:>6} {:>4} {:<9} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>9.2}",
-            r.ranks,
-            r.run,
-            r.strategy,
-            r.pct[0],
-            r.pct[1],
-            r.pct[2],
-            r.pct[3],
-            r.pct[4],
-            r.pct[5],
-            r.pct[6],
-            r.app
-        );
-    }
-    bench::dist_csv_rows(rows)
-}
-
-/// Fig. 7: WaComM time distribution across ranks and strategies.
-fn fig07(full: bool) {
-    header(
-        "fig07",
-        "WaComM time distribution (direct tol=2 / up-only tol=1.1 / none)",
-    );
-    let rows = scenarios::wacomm_distribution(&sweeps::wacomm_ranks(full));
-    let csv = print_dist(&rows);
-    let p = write_csv(
-        "fig07_wacomm_dist",
-        "ranks,run,strategy,sync_w,sync_r,lost_w,lost_r,expl_w,expl_r,compute,app_s",
-        &csv,
-    );
-    println!("-> {}", p.display());
-}
-
-fn dump_series(out: &iobts::experiments::RunOutput, name: &str) {
-    let horizon = out.app_time();
-    let t_series = out.report.throughput_series();
-    let b_series = out.report.required_series();
-    let l_series = out.report.limit_series();
-    println!("  T   {}", bench::sparkline(&t_series, 0.0, horizon, 72));
-    println!("  B_L {}", bench::sparkline(&l_series, 0.0, horizon, 72));
-    println!("  B   {}", bench::sparkline(&b_series, 0.0, horizon, 72));
-    let rows = multi_series_rows(&[&t_series, &l_series, &b_series], 0.0, horizon, 400);
-    let p = write_csv(name, "t,T_Bps,B_L_Bps,B_Bps", &rows);
-    println!(
-        "series: peak T = {:.1} MB/s, max B = {:.1} MB/s, max B_L = {:.1} MB/s, \
-         physical PFS peak = {:.1} MB/s{}",
-        t_series.max_value() / 1e6,
-        b_series.max_value() / 1e6,
-        l_series.max_value() / 1e6,
-        out.pfs_write.max_value().max(out.pfs_read.max_value()) / 1e6,
-        out.report
-            .limit_start_time()
-            .map(|t| format!(", limit starts at {t:.2} s"))
-            .unwrap_or_default()
-    );
-    println!("-> {}", p.display());
-}
-
-/// Fig. 8: WaComM 96 ranks without limit.
-fn fig08() {
-    header("fig08", "WaComM 96 ranks, no limit: T and B over time");
-    let out = scenarios::wacomm_series(96, Strategy::None, 0.0);
-    println!("runtime {:.2} s", out.app_time());
-    dump_series(&out, "fig08_series");
-}
-
-/// Fig. 9: WaComM 96 ranks, up-only.
-fn fig09() {
-    header("fig09", "WaComM 96 ranks, up-only tol=1.1: T follows B_L");
-    let out = scenarios::wacomm_series(96, Strategy::UpOnly { tol: 1.1 }, 0.0);
-    println!("runtime {:.2} s", out.app_time());
-    dump_series(&out, "fig09_series");
-    // Check each rank's T tracks that rank's in-effect limit: match every
-    // throughput window to the phase of the same rank containing its start.
-    let mut track = 0usize;
-    let mut total = 0usize;
-    for w in &out.report.windows {
-        let phase = out
-            .report
-            .phases
-            .iter()
-            .find(|p| p.rank == w.rank && p.ts <= w.start && w.start < p.te);
-        if let Some(limit) = phase.and_then(|p| p.limit_during) {
-            total += 1;
-            if (w.throughput() - limit).abs() / limit < 0.25 {
-                track += 1;
-            }
-        }
-    }
-    println!(
-        "{track}/{total} throttled windows within 25 % of the rank's B_L (T follows the limit)"
-    );
-}
-
-/// Fig. 10: WaComM at scale — up-only vs none.
-fn fig10(full: bool) {
-    let ranks = if full { 9216 } else { 384 };
-    header(
-        "fig10",
-        "WaComM at scale: up-only vs no limit (exploit & runtime)",
-    );
-    // The paper attributes its ≈11.6 % speedup to reduced resource
-    // competition of the I/O threads [33] — an effect it defers to future
-    // work; the virtual-time substrate reproduces runtime *parity* and the
-    // exploitation gap. Set alpha > 0 to model the competition synthetically
-    // (ablation `interference` in the benches).
-    let alpha = 0.0;
-    let strategies = [Strategy::None, Strategy::UpOnly { tol: 1.1 }];
-    let mut outs = bench::par::par_map(&strategies, |&strategy| {
-        scenarios::wacomm_series(ranks, strategy, alpha)
-    });
-    let uponly = outs.pop().unwrap();
-    let none = outs.pop().unwrap();
-    let d_none = none.report.decomposition();
-    let d_up = uponly.report.decomposition();
-    let e_none = 100.0 * d_none.exploit() / d_none.total.max(1e-12);
-    let e_up = 100.0 * d_up.exploit() / d_up.total.max(1e-12);
-    println!("{:<10} {:>10} {:>10}", "run", "time [s]", "exploit %");
-    println!(
-        "{:<10} {:>10.2} {:>10.1}",
-        "up-only",
-        uponly.app_time(),
-        e_up
-    );
-    println!("{:<10} {:>10.2} {:>10.1}", "none", none.app_time(), e_none);
-    let speedup = 100.0 * (none.app_time() - uponly.app_time()) / none.app_time();
-    println!(
-        "runtime change with limiting: {speedup:+.1} % (paper: ≈11.6 % speedup at 9216 ranks,\n\
-         attributed to I/O-thread resource competition [33] that the paper defers; see\n\
-         EXPERIMENTS.md — the exploitation gap above is the reproduced headline)"
-    );
-    dump_series(&uponly, "fig10_uponly");
-    dump_series(&none, "fig10_none");
-}
-
-/// Fig. 11: HACC-IO time distribution across ranks, four strategies.
-fn fig11(full: bool) {
-    header(
-        "fig11",
-        "HACC-IO time distribution (direct/up-only/adaptive/none, tol=1.1)",
-    );
-    let particles = if full { 100_000 } else { 50_000 };
-    let rows = scenarios::hacc_distribution(&sweeps::hacc_ranks(full), particles);
-    let csv = print_dist(&rows);
-    let p = write_csv(
-        "fig11_hacc_dist",
-        "ranks,run,strategy,sync_w,sync_r,lost_w,lost_r,expl_w,expl_r,compute,app_s",
-        &csv,
-    );
-    println!("-> {}", p.display());
-}
-
-/// Fig. 12: the modified HACC-IO structure.
-fn fig12() {
-    header(
-        "fig12",
-        "modified HACC-IO benchmark structure (op schedule)",
-    );
-    use hpcwl::hacc::HaccConfig;
-    let cfg = HaccConfig {
-        loops: 2,
-        ..Default::default()
-    };
-    let p = cfg.program(mpisim::FileId(0));
-    for (i, op) in p.ops().iter().enumerate() {
-        println!("{i:>3}: {op:?}");
-    }
-    println!(
-        "(write overlaps the compute block, read overlaps the verify block,\n\
-         waits close each block, memcpy precedes the read wait — Fig. 12)"
-    );
-}
-
-/// Fig. 13: HACC-IO at scale under all four strategies.
-fn fig13(full: bool) {
-    let ranks = if full { 9216 } else { 384 };
-    let particles = 100_000;
-    header("fig13", "HACC-IO at scale: T/B_L/B series per strategy");
-    let runs = [
-        ("direct", Strategy::Direct { tol: 1.1 }),
-        ("uponly", Strategy::UpOnly { tol: 1.1 }),
-        (
-            "adaptive",
-            Strategy::Adaptive {
-                tol: 1.1,
-                tol_i: 0.5,
-            },
-        ),
-        ("none", Strategy::None),
-    ];
-    let outs = bench::par::par_map(&runs, |&(_, strategy)| {
-        scenarios::hacc_series(ranks, particles, strategy, false)
-    });
-    for ((name, _), out) in runs.iter().zip(&outs) {
-        let d = out.report.decomposition();
-        println!(
-            "\n[{name}] runtime {:.2} s, exploit {:.1} %, lost {:.1} %",
-            out.app_time(),
-            100.0 * d.exploit() / d.total.max(1e-12),
-            100.0 * (d.async_write_lost + d.async_read_lost) / d.total.max(1e-12)
-        );
-        dump_series(out, &format!("fig13_{name}"));
-    }
-}
-
-/// Fig. 14: HACC-IO 1536 ranks, direct strategy, I/O variability.
-fn fig14(full: bool) {
-    let ranks = if full { 1536 } else { 192 };
-    header(
-        "fig14",
-        "HACC-IO direct strategy under PFS capacity noise: waits appear",
-    );
-    let mut outs = bench::par::par_map(&[true, false], |&noise| {
-        scenarios::hacc_series(ranks, 100_000, Strategy::Direct { tol: 1.1 }, noise)
-    });
-    let clean = outs.pop().unwrap();
-    let noisy = outs.pop().unwrap();
-    let d_noisy = noisy.report.decomposition();
-    let d_clean = clean.report.decomposition();
-    println!(
-        "{:<18} {:>10} {:>12} {:>10}",
-        "run", "time [s]", "lost [s]", "exploit %"
-    );
-    for (name, out, d) in [
-        ("with I/O noise", &noisy, &d_noisy),
-        ("without noise", &clean, &d_clean),
-    ] {
-        println!(
-            "{:<18} {:>10.2} {:>12.2} {:>10.1}",
-            name,
-            out.app_time(),
-            d.async_write_lost + d.async_read_lost,
-            100.0 * d.exploit() / d.total.max(1e-12)
-        );
-    }
-    println!(
-        "I/O variability makes the limited transfers miss the window (T falls\n\
-         outside the green B region of Fig. 14), prolonging the runtime slightly."
-    );
-    dump_series(&noisy, "fig14_noisy");
+fn main() -> std::process::ExitCode {
+    bench::registry::cli_main("figure", "figures")
 }

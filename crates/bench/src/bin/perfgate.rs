@@ -5,20 +5,25 @@
 //! IOBTS_BENCH_OUT=path.json cargo run -p bench --release --bin perfgate
 //! ```
 //!
-//! Times every sweep-style figure scenario twice — forced single-thread and
-//! at the host's full worker count — plus the micro-kernels behind them
+//! Times the sweep-style scenarios straight off the registry (emission
+//! disabled, so pure computation is measured) twice — forced single-thread
+//! and at the host's full worker count — plus the micro-kernels behind them
 //! (water-filling allocator, PFS completion harvesting, event-queue churn),
 //! and writes the measurements to `BENCH_pr1.json`. On a single-core host the
 //! jobs-N column degenerates to jobs-1; the parallel speedup claim is only
 //! meaningful where `cores > 1` (recorded in the JSON).
 
 use bench::par::{jobs, with_jobs};
-use bench::{scenarios, sweeps};
+use bench::registry::{select, ScenarioCtx};
 use pfsim::alloc::{water_fill, water_fill_into, Demand, WaterFillScratch};
 use pfsim::{Channel, FlowSpec, Pfs, PfsConfig};
 use simcore::{EventQueue, SimTime};
 use std::hint::black_box;
 use std::time::Instant;
+
+/// The registry entries the gate times — the sweep-shaped scenarios whose
+/// wall time dominates figure regeneration.
+const GATED: &[&str] = &["fig05_06", "fig07", "fig11", "fig13"];
 
 /// Best-of-`reps` wall time of `f`, in seconds.
 fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -38,68 +43,30 @@ struct Entry {
 }
 
 fn gate_figures(entries: &mut Vec<Entry>, reps: usize) {
-    let hacc_ranks = sweeps::hacc_ranks(false);
-    let wacomm_ranks = sweeps::wacomm_ranks(false);
-
-    let figures: Vec<(&str, Box<dyn Fn() + Sync>)> = vec![
-        (
-            "fig05_06_hacc_overheads",
-            Box::new({
-                let r = hacc_ranks.clone();
-                move || {
-                    black_box(scenarios::hacc_overheads(&r, 100_000));
-                }
-            }),
-        ),
-        (
-            "fig07_wacomm_distribution",
-            Box::new({
-                let r = wacomm_ranks.clone();
-                move || {
-                    black_box(scenarios::wacomm_distribution(&r));
-                }
-            }),
-        ),
-        (
-            "fig11_hacc_distribution",
-            Box::new({
-                let r = hacc_ranks.clone();
-                move || {
-                    black_box(scenarios::hacc_distribution(&r, 50_000));
-                }
-            }),
-        ),
-        (
-            "fig13_hacc_series_x4",
-            Box::new(|| {
-                use tmio::Strategy;
-                let runs = [
-                    Strategy::Direct { tol: 1.1 },
-                    Strategy::UpOnly { tol: 1.1 },
-                    Strategy::Adaptive {
-                        tol: 1.1,
-                        tol_i: 0.5,
-                    },
-                    Strategy::None,
-                ];
-                black_box(bench::par::par_map(&runs, |&s| {
-                    scenarios::hacc_series(384, 100_000, s, false)
-                }));
-            }),
-        ),
-    ];
+    // Quick scale, no printing/CSV: identical computation to what the
+    // `figures` bin runs, minus presentation.
+    let ctx = ScenarioCtx {
+        full: false,
+        quick: false,
+        emit: false,
+    };
+    let patterns: Vec<String> = GATED.iter().map(|s| s.to_string()).collect();
+    let scenarios = select("figure", &patterns).expect("gated scenarios exist");
 
     let n = jobs();
-    for (name, f) in &figures {
-        eprintln!("[perfgate] {name} ...");
-        let jobs1_s = best_secs(reps, || with_jobs(1, || f()));
+    for s in &scenarios {
+        eprintln!("[perfgate] {} ...", s.name);
+        let run = || {
+            black_box((s.run)(&ctx)).expect("gated scenario fails");
+        };
+        let jobs1_s = best_secs(reps, || with_jobs(1, run));
         let jobs_n_s = if n > 1 {
-            best_secs(reps, || with_jobs(n, || f()))
+            best_secs(reps, || with_jobs(n, run))
         } else {
             jobs1_s
         };
         entries.push(Entry {
-            name: (*name).to_string(),
+            name: s.name.to_string(),
             jobs1_s,
             jobs_n_s,
         });

@@ -1,0 +1,496 @@
+//! Registry entries for the paper's figures. Each function computes its
+//! scenario (always) and prints/writes CSVs only when `ctx.emit` — the
+//! perf gate times the same entries with emission disabled.
+//!
+//! The CSV bytes are the repo's golden artifacts (`results/`): formatting
+//! here must stay byte-stable across refactors.
+
+use crate::csv::CsvRow;
+use crate::registry::ScenarioCtx;
+use crate::scenarios;
+use crate::{multi_series_rows, sweeps, write_csv};
+use iobts::session::RunOutput;
+use tmio::Strategy;
+
+fn header(id: &str, what: &str) {
+    println!("\n================================================================");
+    println!("{id}: {what}");
+    println!("================================================================");
+}
+
+/// Figs. 1 & 2: motivation — 8 jobs, job 4 async, limited during contention.
+pub fn fig01_02(ctx: &ScenarioCtx) -> Result<(), String> {
+    let out = scenarios::motivation();
+    if !ctx.emit {
+        return Ok(());
+    }
+    header(
+        "fig01",
+        "job runtimes with/without limiting job 4 (ElastiSim study)",
+    );
+    let mut rows = Vec::new();
+    println!(
+        "{:<6} {:>6} {:>12} {:>12} {:>8}",
+        "job", "nodes", "w/o [s]", "with [s]", "delta"
+    );
+    for (a, b) in out.free.jobs.iter().zip(&out.limited.jobs) {
+        let d = b.runtime() - a.runtime();
+        println!(
+            "{:<6} {:>6} {:>12.1} {:>12.1} {:>+8.1}",
+            a.name,
+            a.nodes,
+            a.runtime(),
+            b.runtime(),
+            d
+        );
+        rows.push(format!(
+            "{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            a.name,
+            a.nodes,
+            a.start,
+            a.end,
+            b.start,
+            b.end,
+            a.runtime(),
+            b.runtime()
+        ));
+    }
+    let p = write_csv(
+        "fig01_jobs",
+        "job,nodes,start_free,end_free,start_lim,end_lim,runtime_free,runtime_lim",
+        &rows,
+    );
+    println!("-> {}", p.display());
+
+    header("fig02", "total PFS bandwidth over time for both cases");
+    let horizon = out.free.makespan.max(out.limited.makespan);
+    let rows = multi_series_rows(
+        &[&out.free.total_bandwidth, &out.limited.total_bandwidth],
+        0.0,
+        horizon,
+        240,
+    );
+    for r in rows.iter().step_by(24) {
+        println!("{r}");
+    }
+    println!(
+        "  w/o  {}",
+        crate::sparkline(&out.free.total_bandwidth, 0.0, horizon, 72)
+    );
+    println!(
+        "  with {}",
+        crate::sparkline(&out.limited.total_bandwidth, 0.0, horizon, 72)
+    );
+    let p = write_csv(
+        "fig02_bandwidth",
+        "t,without_limit_Bps,with_limit_Bps",
+        &rows,
+    );
+    println!("-> {}", p.display());
+    // Job-4 band for the stacked view.
+    let rows4 = multi_series_rows(
+        &[&out.free.job_bandwidth[4], &out.limited.job_bandwidth[4]],
+        0.0,
+        horizon,
+        240,
+    );
+    let p = write_csv("fig02_job4", "t,job4_free_Bps,job4_limited_Bps", &rows4);
+    println!("-> {}", p.display());
+    Ok(())
+}
+
+/// Fig. 3: rank-0 timeline — Δt (available window) vs Δtᵃ (actual I/O).
+pub fn fig03(ctx: &ScenarioCtx) -> Result<(), String> {
+    let out = scenarios::rank_timeline();
+    if !ctx.emit {
+        return Ok(());
+    }
+    header("fig03", "rank 0 async I/O during compute phases: Δt vs Δtᵃ");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "phase", "submit", "complete", "wait@", "Δt", "Δtᵃ"
+    );
+    let mut rows = Vec::new();
+    let mut spans: Vec<_> = out.report.spans.iter().filter(|s| s.rank == 0).collect();
+    spans.sort_by(|a, b| a.submit.partial_cmp(&b.submit).unwrap());
+    for (j, s) in spans.iter().enumerate() {
+        let dt = s.wait_enter - s.submit;
+        let dta = s.complete - s.submit;
+        println!(
+            "{:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12.4}",
+            j, s.submit, s.complete, s.wait_enter, dt, dta
+        );
+        rows.push(format!(
+            "{j},{},{},{},{dt},{dta}",
+            s.submit, s.complete, s.wait_enter
+        ));
+    }
+    let p = write_csv(
+        "fig03_timeline",
+        "phase,submit,complete,wait_enter,dt,dta",
+        &rows,
+    );
+    println!("-> {}", p.display());
+    println!("(Δtᵃ < Δt on every phase: the I/O is fully hidden, as in Fig. 3)");
+    Ok(())
+}
+
+/// Fig. 4: the worked region example — B_r over five regions.
+pub fn fig04(ctx: &ScenarioCtx) -> Result<(), String> {
+    use tmio::regions::{sweep, Interval};
+    let intervals = [
+        Interval {
+            ts: 0.0,
+            te: 4.0,
+            value: 1.0,
+        },
+        Interval {
+            ts: 1.0,
+            te: 6.0,
+            value: 2.0,
+        },
+        Interval {
+            ts: 2.0,
+            te: 8.0,
+            value: 4.0,
+        },
+    ];
+    let s = sweep(&intervals);
+    if !ctx.emit {
+        return Ok(());
+    }
+    header("fig04", "region sweep worked example (Eq. 3)");
+    println!("inputs: B1 over [0,4)=1, B2 over [1,6)=2, B0 over [2,8)=4");
+    let mut rows = Vec::new();
+    for &(t, v) in s.points() {
+        println!("  region starts at t={t}: B_r = {v}");
+        rows.push(format!("{t},{v}"));
+    }
+    let p = write_csv("fig04_regions", "ts_r,B_r", &rows);
+    println!("-> {}", p.display());
+    Ok(())
+}
+
+/// Figs. 5 & 6: HACC-IO runtime and overhead split vs ranks.
+pub fn fig05_06(ctx: &ScenarioCtx) -> Result<(), String> {
+    let particles = if ctx.full { 1_000_000 } else { 100_000 };
+    let ranks = sweeps::hacc_ranks(ctx.full);
+    let rows = scenarios::hacc_overheads(&ranks, particles);
+    if !ctx.emit {
+        return Ok(());
+    }
+    header("fig05", "HACC-IO runtime (Total/App/Overhead) vs ranks");
+    println!(
+        "{:>6} {:<7} {:>10} {:>10} {:>10} {:>10}",
+        "ranks", "run", "app [s]", "peri [s]", "post [s]", "total [s]"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:<7} {:>10.2} {:>10.4} {:>10.3} {:>10.2}",
+            r.ranks, r.run, r.app, r.peri, r.post, r.total
+        );
+    }
+    let csv = crate::csv::rows(&rows);
+    let p = write_csv("fig05_06_overheads", scenarios::OverheadRow::HEADER, &csv);
+    println!("-> {}", p.display());
+
+    header("fig06", "HACC-IO total-time distribution (direct vs none)");
+    println!(
+        "{:>6} {:<7} {:>10} {:>10} {:>12} {:>10}",
+        "ranks", "run", "post %", "peri %", "visible I/O %", "compute %"
+    );
+    for r in &rows {
+        let total_ranktime = r.app * r.ranks as f64 + r.post * r.ranks as f64;
+        let post_pct = 100.0 * r.post * r.ranks as f64 / total_ranktime.max(1e-12);
+        let peri_pct = 100.0 * r.peri / total_ranktime.max(1e-12);
+        println!(
+            "{:>6} {:<7} {:>10.2} {:>10.4} {:>12.2} {:>10.2}",
+            r.ranks, r.run, post_pct, peri_pct, r.visible_pct, r.compute_pct
+        );
+    }
+    println!("(peri-runtime < 0.1 %, post-runtime grows with ranks — the Fig. 6 shape)");
+    Ok(())
+}
+
+fn print_dist(rows: &[scenarios::DistRow]) -> Vec<String> {
+    println!(
+        "{:>6} {:>4} {:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "ranks",
+        "run",
+        "strategy",
+        "syncW%",
+        "syncR%",
+        "lostW%",
+        "lostR%",
+        "explW%",
+        "explR%",
+        "compute%",
+        "app [s]"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>4} {:<9} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>9.2}",
+            r.ranks,
+            r.run,
+            r.strategy,
+            r.pct[0],
+            r.pct[1],
+            r.pct[2],
+            r.pct[3],
+            r.pct[4],
+            r.pct[5],
+            r.pct[6],
+            r.app
+        );
+    }
+    crate::csv::rows(rows)
+}
+
+/// Fig. 7: WaComM time distribution across ranks and strategies.
+pub fn fig07(ctx: &ScenarioCtx) -> Result<(), String> {
+    let rows = scenarios::wacomm_distribution(&sweeps::wacomm_ranks(ctx.full));
+    if !ctx.emit {
+        return Ok(());
+    }
+    header(
+        "fig07",
+        "WaComM time distribution (direct tol=2 / up-only tol=1.1 / none)",
+    );
+    let csv = print_dist(&rows);
+    let p = write_csv("fig07_wacomm_dist", scenarios::DistRow::HEADER, &csv);
+    println!("-> {}", p.display());
+    Ok(())
+}
+
+fn dump_series(out: &RunOutput, name: &str) {
+    let horizon = out.app_time();
+    let t_series = out.report.throughput_series();
+    let b_series = out.report.required_series();
+    let l_series = out.report.limit_series();
+    println!("  T   {}", crate::sparkline(&t_series, 0.0, horizon, 72));
+    println!("  B_L {}", crate::sparkline(&l_series, 0.0, horizon, 72));
+    println!("  B   {}", crate::sparkline(&b_series, 0.0, horizon, 72));
+    let rows = multi_series_rows(&[&t_series, &l_series, &b_series], 0.0, horizon, 400);
+    let p = write_csv(name, "t,T_Bps,B_L_Bps,B_Bps", &rows);
+    println!(
+        "series: peak T = {:.1} MB/s, max B = {:.1} MB/s, max B_L = {:.1} MB/s, \
+         physical PFS peak = {:.1} MB/s{}",
+        t_series.max_value() / 1e6,
+        b_series.max_value() / 1e6,
+        l_series.max_value() / 1e6,
+        out.pfs_write.max_value().max(out.pfs_read.max_value()) / 1e6,
+        out.report
+            .limit_start_time()
+            .map(|t| format!(", limit starts at {t:.2} s"))
+            .unwrap_or_default()
+    );
+    println!("-> {}", p.display());
+}
+
+/// Fig. 8: WaComM 96 ranks without limit.
+pub fn fig08(ctx: &ScenarioCtx) -> Result<(), String> {
+    let out = scenarios::wacomm_series(96, Strategy::None, 0.0);
+    if !ctx.emit {
+        return Ok(());
+    }
+    header("fig08", "WaComM 96 ranks, no limit: T and B over time");
+    println!("runtime {:.2} s", out.app_time());
+    dump_series(&out, "fig08_series");
+    Ok(())
+}
+
+/// Fig. 9: WaComM 96 ranks, up-only.
+pub fn fig09(ctx: &ScenarioCtx) -> Result<(), String> {
+    let out = scenarios::wacomm_series(96, Strategy::UpOnly { tol: 1.1 }, 0.0);
+    if !ctx.emit {
+        return Ok(());
+    }
+    header("fig09", "WaComM 96 ranks, up-only tol=1.1: T follows B_L");
+    println!("runtime {:.2} s", out.app_time());
+    dump_series(&out, "fig09_series");
+    // Check each rank's T tracks that rank's in-effect limit: match every
+    // throughput window to the phase of the same rank containing its start.
+    let mut track = 0usize;
+    let mut total = 0usize;
+    for w in &out.report.windows {
+        let phase = out
+            .report
+            .phases
+            .iter()
+            .find(|p| p.rank == w.rank && p.ts <= w.start && w.start < p.te);
+        if let Some(limit) = phase.and_then(|p| p.limit_during) {
+            total += 1;
+            if (w.throughput() - limit).abs() / limit < 0.25 {
+                track += 1;
+            }
+        }
+    }
+    println!(
+        "{track}/{total} throttled windows within 25 % of the rank's B_L (T follows the limit)"
+    );
+    Ok(())
+}
+
+/// Fig. 10: WaComM at scale — up-only vs none.
+pub fn fig10(ctx: &ScenarioCtx) -> Result<(), String> {
+    let ranks = if ctx.full { 9216 } else { 384 };
+    // The paper attributes its ≈11.6 % speedup to reduced resource
+    // competition of the I/O threads [33] — an effect it defers to future
+    // work; the virtual-time substrate reproduces runtime *parity* and the
+    // exploitation gap. Set alpha > 0 to model the competition synthetically
+    // (ablation `interference` in the benches).
+    let alpha = 0.0;
+    let strategies = [Strategy::None, Strategy::UpOnly { tol: 1.1 }];
+    let mut outs = crate::par::par_map(&strategies, |&strategy| {
+        scenarios::wacomm_series(ranks, strategy, alpha)
+    });
+    if !ctx.emit {
+        return Ok(());
+    }
+    header(
+        "fig10",
+        "WaComM at scale: up-only vs no limit (exploit & runtime)",
+    );
+    let uponly = outs.pop().unwrap();
+    let none = outs.pop().unwrap();
+    let d_none = none.report.decomposition();
+    let d_up = uponly.report.decomposition();
+    let e_none = 100.0 * d_none.exploit() / d_none.total.max(1e-12);
+    let e_up = 100.0 * d_up.exploit() / d_up.total.max(1e-12);
+    println!("{:<10} {:>10} {:>10}", "run", "time [s]", "exploit %");
+    println!(
+        "{:<10} {:>10.2} {:>10.1}",
+        "up-only",
+        uponly.app_time(),
+        e_up
+    );
+    println!("{:<10} {:>10.2} {:>10.1}", "none", none.app_time(), e_none);
+    let speedup = 100.0 * (none.app_time() - uponly.app_time()) / none.app_time();
+    println!(
+        "runtime change with limiting: {speedup:+.1} % (paper: ≈11.6 % speedup at 9216 ranks,\n\
+         attributed to I/O-thread resource competition [33] that the paper defers; see\n\
+         EXPERIMENTS.md — the exploitation gap above is the reproduced headline)"
+    );
+    dump_series(&uponly, "fig10_uponly");
+    dump_series(&none, "fig10_none");
+    Ok(())
+}
+
+/// Fig. 11: HACC-IO time distribution across ranks, four strategies.
+pub fn fig11(ctx: &ScenarioCtx) -> Result<(), String> {
+    let particles = if ctx.full { 100_000 } else { 50_000 };
+    let rows = scenarios::hacc_distribution(&sweeps::hacc_ranks(ctx.full), particles);
+    if !ctx.emit {
+        return Ok(());
+    }
+    header(
+        "fig11",
+        "HACC-IO time distribution (direct/up-only/adaptive/none, tol=1.1)",
+    );
+    let csv = print_dist(&rows);
+    let p = write_csv("fig11_hacc_dist", scenarios::DistRow::HEADER, &csv);
+    println!("-> {}", p.display());
+    Ok(())
+}
+
+/// Fig. 12: the modified HACC-IO structure.
+pub fn fig12(ctx: &ScenarioCtx) -> Result<(), String> {
+    use hpcwl::hacc::HaccConfig;
+    let cfg = HaccConfig {
+        loops: 2,
+        ..Default::default()
+    };
+    let p = cfg.program(mpisim::FileId(0));
+    if !ctx.emit {
+        return Ok(());
+    }
+    header(
+        "fig12",
+        "modified HACC-IO benchmark structure (op schedule)",
+    );
+    for (i, op) in p.ops().iter().enumerate() {
+        println!("{i:>3}: {op:?}");
+    }
+    println!(
+        "(write overlaps the compute block, read overlaps the verify block,\n\
+         waits close each block, memcpy precedes the read wait — Fig. 12)"
+    );
+    Ok(())
+}
+
+/// Fig. 13: HACC-IO at scale under all four strategies.
+pub fn fig13(ctx: &ScenarioCtx) -> Result<(), String> {
+    let ranks = if ctx.full { 9216 } else { 384 };
+    let particles = 100_000;
+    let runs = [
+        ("direct", Strategy::Direct { tol: 1.1 }),
+        ("uponly", Strategy::UpOnly { tol: 1.1 }),
+        (
+            "adaptive",
+            Strategy::Adaptive {
+                tol: 1.1,
+                tol_i: 0.5,
+            },
+        ),
+        ("none", Strategy::None),
+    ];
+    let outs = crate::par::par_map(&runs, |&(_, strategy)| {
+        scenarios::hacc_series(ranks, particles, strategy, false)
+    });
+    if !ctx.emit {
+        return Ok(());
+    }
+    header("fig13", "HACC-IO at scale: T/B_L/B series per strategy");
+    for ((name, _), out) in runs.iter().zip(&outs) {
+        let d = out.report.decomposition();
+        println!(
+            "\n[{name}] runtime {:.2} s, exploit {:.1} %, lost {:.1} %",
+            out.app_time(),
+            100.0 * d.exploit() / d.total.max(1e-12),
+            100.0 * (d.async_write_lost + d.async_read_lost) / d.total.max(1e-12)
+        );
+        dump_series(out, &format!("fig13_{name}"));
+    }
+    Ok(())
+}
+
+/// Fig. 14: HACC-IO 1536 ranks, direct strategy, I/O variability.
+pub fn fig14(ctx: &ScenarioCtx) -> Result<(), String> {
+    let ranks = if ctx.full { 1536 } else { 192 };
+    let mut outs = crate::par::par_map(&[true, false], |&noise| {
+        scenarios::hacc_series(ranks, 100_000, Strategy::Direct { tol: 1.1 }, noise)
+    });
+    if !ctx.emit {
+        return Ok(());
+    }
+    header(
+        "fig14",
+        "HACC-IO direct strategy under PFS capacity noise: waits appear",
+    );
+    let clean = outs.pop().unwrap();
+    let noisy = outs.pop().unwrap();
+    let d_noisy = noisy.report.decomposition();
+    let d_clean = clean.report.decomposition();
+    println!(
+        "{:<18} {:>10} {:>12} {:>10}",
+        "run", "time [s]", "lost [s]", "exploit %"
+    );
+    for (name, out, d) in [
+        ("with I/O noise", &noisy, &d_noisy),
+        ("without noise", &clean, &d_clean),
+    ] {
+        println!(
+            "{:<18} {:>10.2} {:>12.2} {:>10.1}",
+            name,
+            out.app_time(),
+            d.async_write_lost + d.async_read_lost,
+            100.0 * d.exploit() / d.total.max(1e-12)
+        );
+    }
+    println!(
+        "I/O variability makes the limited transfers miss the window (T falls\n\
+         outside the green B region of Fig. 14), prolonging the runtime slightly."
+    );
+    dump_series(&noisy, "fig14_noisy");
+    Ok(())
+}

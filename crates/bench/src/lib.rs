@@ -1,94 +1,23 @@
-//! Shared helpers for the figure-regeneration harness and the criterion
-//! benches: CSV emission, table printing, and the rank sweeps — so the
-//! benches and the harness run identical scenario code.
+//! Shared infrastructure for the figure-regeneration harness, the chaos
+//! and ablation studies, the perf gate and the criterion benches.
+//!
+//! The layering (DESIGN.md §3): [`scenarios`] computes the paper's
+//! figures through the session pipeline, [`figs`]/[`abl`]/[`chaosrun`]
+//! wrap them as named registry entries, and [`registry`] gives every bin
+//! the same `--list`/`--only <glob>`/`--jobs` frontend. CSV emission is
+//! centralised in [`csv`]; [`par`] bounds the worker pool.
 
 use simcore::{SimTime, StepSeries};
-use std::fs;
-use std::io::Write;
-use std::path::PathBuf;
 
+pub mod abl;
+pub mod chaosrun;
+pub mod csv;
+pub mod figs;
 pub mod par;
+pub mod registry;
 pub mod scenarios;
 
-/// CSV rows for the Fig. 7/11 stacked-bar distributions — shared between the
-/// `figures` binary and the determinism test so both compare identical bytes.
-pub fn dist_csv_rows(rows: &[scenarios::DistRow]) -> Vec<String> {
-    rows.iter()
-        .map(|r| {
-            format!(
-                "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3}",
-                r.ranks,
-                r.run,
-                r.strategy,
-                r.pct[0],
-                r.pct[1],
-                r.pct[2],
-                r.pct[3],
-                r.pct[4],
-                r.pct[5],
-                r.pct[6],
-                r.app
-            )
-        })
-        .collect()
-}
-
-/// CSV rows for the Fig. 5/6 overhead decomposition.
-pub fn overhead_csv_rows(rows: &[scenarios::OverheadRow]) -> Vec<String> {
-    rows.iter()
-        .map(|r| {
-            format!(
-                "{},{},{:.4},{:.6},{:.4},{:.4},{:.2},{:.2}",
-                r.ranks, r.run, r.app, r.peri, r.post, r.total, r.visible_pct, r.compute_pct
-            )
-        })
-        .collect()
-}
-
-/// Where figure CSVs are written (`results/` under the workspace root, or
-/// `$IOBTS_RESULTS_DIR`).
-pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("IOBTS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
-    let p = PathBuf::from(dir);
-    fs::create_dir_all(&p).expect("create results dir");
-    p
-}
-
-/// Writes CSV rows (with a header) to `results/<name>.csv`, returning the
-/// path.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
-    let path = results_dir().join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").expect("write header");
-    for r in rows {
-        writeln!(f, "{r}").expect("write row");
-    }
-    path
-}
-
-/// Resamples a step series into `(t, value)` CSV rows.
-pub fn series_rows(series: &StepSeries, from: f64, to: f64, n: usize) -> Vec<String> {
-    series
-        .resample(SimTime::from_secs(from), SimTime::from_secs(to), n)
-        .into_iter()
-        .map(|(t, v)| format!("{t:.4},{v:.1}"))
-        .collect()
-}
-
-/// Merges several same-horizon series into multi-column CSV rows.
-pub fn multi_series_rows(series: &[&StepSeries], from: f64, to: f64, n: usize) -> Vec<String> {
-    assert!(n >= 2);
-    (0..n)
-        .map(|k| {
-            let t = from + (to - from) * k as f64 / (n - 1) as f64;
-            let mut row = format!("{t:.4}");
-            for s in series {
-                row.push_str(&format!(",{:.1}", s.value_at(SimTime::from_secs(t))));
-            }
-            row
-        })
-        .collect()
-}
+pub use csv::{multi_series_rows, results_dir, series_rows, write_csv};
 
 /// Renders a step series as a unicode sparkline over `[from, to]` — the
 /// harness's terminal stand-in for the paper's plots. Values are binned by

@@ -1,14 +1,36 @@
-//! The per-figure scenarios. Each function reproduces one figure of the
-//! paper's evaluation and returns its series/rows; the `figures` binary
-//! prints and CSV-dumps them, the criterion benches time them at reduced
-//! scale. Scale notes live in EXPERIMENTS.md.
+//! The per-figure scenario computations. Each function reproduces one
+//! figure of the paper's evaluation and returns its series/rows; the
+//! registry entries ([`crate::registry`]) print and CSV-dump them, the
+//! criterion benches time them at reduced scale. Scale notes live in
+//! EXPERIMENTS.md.
+//!
+//! Every run goes through the canonical [`Session`] pipeline — workloads
+//! are [`HaccIo`]/[`Wacomm`] instances, configs are built through the
+//! [`ExpConfig`] builder surface.
 
+use crate::csv::CsvRow;
 use clustersim::{motivation_scenario, Cluster, ClusterResult};
 use hpcwl::hacc::HaccConfig;
 use hpcwl::wacomm::WacommConfig;
-use iobts::experiments::{run_hacc, run_wacomm, ExpConfig, RunOutput};
+use iobts::session::{ExpConfig, HaccIo, RunOutput, Session, Wacomm};
 use simcore::Noise;
 use tmio::Strategy;
+
+/// Runs the modified HACC-IO benchmark through a [`Session`].
+fn hacc_session(cfg: ExpConfig, hacc: HaccConfig) -> RunOutput {
+    Session::builder(cfg)
+        .workload(HaccIo::new(hacc))
+        .build()
+        .run()
+}
+
+/// Runs the WaComM-like workload through a [`Session`].
+fn wacomm_session(cfg: ExpConfig, wc: WacommConfig) -> RunOutput {
+    Session::builder(cfg)
+        .workload(Wacomm::new(wc))
+        .build()
+        .run()
+}
 
 /// Fig. 1/2 output: both cluster runs.
 pub struct MotivationOut {
@@ -36,7 +58,7 @@ pub fn rank_timeline() -> RunOutput {
         loops: 4,
         ..Default::default()
     };
-    run_hacc(&ExpConfig::new(1, Strategy::None).exact(), &hacc)
+    hacc_session(ExpConfig::new(1, Strategy::None).exact(), hacc)
 }
 
 /// Fig. 5/6 rows: one entry per rank count and strategy.
@@ -59,6 +81,24 @@ pub struct OverheadRow {
     pub compute_pct: f64,
 }
 
+impl CsvRow for OverheadRow {
+    const HEADER: &'static str = "ranks,run,app_s,peri_s,post_s,total_s,visible_io_pct,compute_pct";
+
+    fn row(&self) -> String {
+        format!(
+            "{},{},{:.4},{:.6},{:.4},{:.4},{:.2},{:.2}",
+            self.ranks,
+            self.run,
+            self.app,
+            self.peri,
+            self.post,
+            self.total,
+            self.visible_pct,
+            self.compute_pct
+        )
+    }
+}
+
 /// Figs. 5 & 6: HACC-IO runtime and overhead decomposition vs rank count,
 /// with the direct strategy (run 0) and without limiting (run 1).
 pub fn hacc_overheads(ranks: &[usize], particles: u64) -> Vec<OverheadRow> {
@@ -72,13 +112,12 @@ pub fn hacc_overheads(ranks: &[usize], particles: u64) -> Vec<OverheadRow> {
         })
         .collect();
     crate::par::par_map(&points, |&(n, run, strategy)| {
-        let mut cfg = ExpConfig::new(n, strategy);
-        cfg.record_pfs = false;
+        let cfg = ExpConfig::new(n, strategy).with_record_pfs(false);
         let hacc = HaccConfig {
             particles_per_rank: particles,
             ..Default::default()
         };
-        let out = run_hacc(&cfg, &hacc);
+        let out = hacc_session(cfg, hacc);
         let d = out.report.decomposition();
         let denom = d.total + out.report.post_overhead * n as f64;
         OverheadRow {
@@ -109,6 +148,28 @@ pub struct DistRow {
     pub app: f64,
 }
 
+impl CsvRow for DistRow {
+    const HEADER: &'static str =
+        "ranks,run,strategy,sync_w,sync_r,lost_w,lost_r,expl_w,expl_r,compute,app_s";
+
+    fn row(&self) -> String {
+        format!(
+            "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3}",
+            self.ranks,
+            self.run,
+            self.strategy,
+            self.pct[0],
+            self.pct[1],
+            self.pct[2],
+            self.pct[3],
+            self.pct[4],
+            self.pct[5],
+            self.pct[6],
+            self.app
+        )
+    }
+}
+
 /// Fig. 7: WaComM time distribution across ranks; runs 0-1 direct (tol 2),
 /// 2-3 up-only (tol 1.1), 4-5 none.
 pub fn wacomm_distribution(ranks: &[usize]) -> Vec<DistRow> {
@@ -130,10 +191,10 @@ pub fn wacomm_distribution(ranks: &[usize]) -> Vec<DistRow> {
         })
         .collect();
     crate::par::par_map(&points, |&(n, i, name, strategy)| {
-        let mut cfg = ExpConfig::new(n, strategy);
-        cfg.seed = 2024 + i as u64; // repeated runs differ by seed
-        cfg.record_pfs = false;
-        let out = run_wacomm(&cfg, &wc);
+        let cfg = ExpConfig::new(n, strategy)
+            .with_seed(2024 + i as u64) // repeated runs differ by seed
+            .with_record_pfs(false);
+        let out = wacomm_session(cfg, wc);
         let d = out.report.decomposition();
         DistRow {
             ranks: n,
@@ -183,10 +244,10 @@ pub fn hacc_distribution(ranks: &[usize], particles: u64) -> Vec<DistRow> {
         })
         .collect();
     crate::par::par_map(&points, |&(n, i, name, strategy)| {
-        let mut cfg = ExpConfig::new(n, strategy);
-        cfg.seed = 2024 + i as u64;
-        cfg.record_pfs = false;
-        let out = run_hacc(&cfg, &hacc);
+        let cfg = ExpConfig::new(n, strategy)
+            .with_seed(2024 + i as u64)
+            .with_record_pfs(false);
+        let out = hacc_session(cfg, hacc);
         let d = out.report.decomposition();
         DistRow {
             ranks: n,
@@ -200,9 +261,8 @@ pub fn hacc_distribution(ranks: &[usize], particles: u64) -> Vec<DistRow> {
 
 /// Figs. 8/9/10: one WaComM run with full series recording.
 pub fn wacomm_series(ranks: usize, strategy: Strategy, interference: f64) -> RunOutput {
-    let mut cfg = ExpConfig::new(ranks, strategy);
-    cfg.interference_alpha = interference;
-    run_wacomm(&cfg, &WacommConfig::default())
+    let cfg = ExpConfig::new(ranks, strategy).with_interference(interference);
+    wacomm_session(cfg, WacommConfig::default())
 }
 
 /// Figs. 13/14: one HACC-IO run with full series recording; optional PFS
@@ -217,7 +277,7 @@ pub fn hacc_series(
     if capacity_noise {
         // Occasional deep capacity dips: a competing job's burst steals most
         // of the PFS, so even limit-paced transfers miss their windows.
-        cfg.capacity_noise = Some(mpisim::CapacityNoiseCfg {
+        cfg = cfg.with_capacity_noise(mpisim::CapacityNoiseCfg {
             period: 1.5,
             noise: Noise::Spike {
                 prob: 0.25,
@@ -229,7 +289,7 @@ pub fn hacc_series(
         particles_per_rank: particles,
         ..Default::default()
     };
-    run_hacc(&cfg, &hacc)
+    hacc_session(cfg, hacc)
 }
 
 #[cfg(test)]

@@ -3,18 +3,15 @@
 //! at any worker count, on every code path the `figures` binary exercises
 //! through `par_map`.
 
+use bench::csv::rows;
 use bench::par::with_jobs;
 use bench::scenarios;
 
 #[test]
 fn distribution_rows_identical_serial_vs_parallel() {
     let ranks = [24usize, 48];
-    let serial = with_jobs(1, || {
-        bench::dist_csv_rows(&scenarios::wacomm_distribution(&ranks))
-    });
-    let parallel = with_jobs(4, || {
-        bench::dist_csv_rows(&scenarios::wacomm_distribution(&ranks))
-    });
+    let serial = with_jobs(1, || rows(&scenarios::wacomm_distribution(&ranks)));
+    let parallel = with_jobs(4, || rows(&scenarios::wacomm_distribution(&ranks)));
     assert_eq!(
         serial.join("\n"),
         parallel.join("\n"),
@@ -25,12 +22,8 @@ fn distribution_rows_identical_serial_vs_parallel() {
 #[test]
 fn overhead_rows_identical_serial_vs_parallel() {
     let ranks = [1usize, 4, 16];
-    let serial = with_jobs(1, || {
-        bench::overhead_csv_rows(&scenarios::hacc_overheads(&ranks, 20_000))
-    });
-    let parallel = with_jobs(3, || {
-        bench::overhead_csv_rows(&scenarios::hacc_overheads(&ranks, 20_000))
-    });
+    let serial = with_jobs(1, || rows(&scenarios::hacc_overheads(&ranks, 20_000)));
+    let parallel = with_jobs(3, || rows(&scenarios::hacc_overheads(&ranks, 20_000)));
     assert_eq!(
         serial.join("\n"),
         parallel.join("\n"),
@@ -41,12 +34,8 @@ fn overhead_rows_identical_serial_vs_parallel() {
 #[test]
 fn hacc_distribution_rows_identical_serial_vs_parallel() {
     let ranks = [1usize, 4];
-    let serial = with_jobs(1, || {
-        bench::dist_csv_rows(&scenarios::hacc_distribution(&ranks, 20_000))
-    });
-    let parallel = with_jobs(8, || {
-        bench::dist_csv_rows(&scenarios::hacc_distribution(&ranks, 20_000))
-    });
+    let serial = with_jobs(1, || rows(&scenarios::hacc_distribution(&ranks, 20_000)));
+    let parallel = with_jobs(8, || rows(&scenarios::hacc_distribution(&ranks, 20_000)));
     assert_eq!(
         serial.join("\n"),
         parallel.join("\n"),

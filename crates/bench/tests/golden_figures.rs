@@ -1,0 +1,62 @@
+//! Golden-file test: the scenario registry must regenerate the checked-in
+//! figure CSVs (`results/`) byte-for-byte. The default run covers the
+//! cheap, scale-independent figures (fig01–fig04, 5 CSVs); set
+//! `IOBTS_GOLDEN_FULL=1` to regenerate and compare every figure and
+//! ablation CSV (release build recommended — the sweeps are slow in
+//! debug).
+
+use bench::registry::{select, ScenarioCtx};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[test]
+fn registry_regenerates_golden_csvs() {
+    let tmp = std::env::temp_dir().join(format!("iobts-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    // This is the only test in this binary, so the process-global results
+    // override cannot race another test.
+    std::env::set_var("IOBTS_RESULTS_DIR", &tmp);
+
+    let full = std::env::var("IOBTS_GOLDEN_FULL").is_ok();
+    let ctx = ScenarioCtx::default();
+    let figure_pats: Vec<String> = if full {
+        Vec::new() // empty selection = the whole group
+    } else {
+        ["fig01_02", "fig03", "fig04"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    };
+    for s in select("figure", &figure_pats).unwrap() {
+        (s.run)(&ctx).unwrap_or_else(|e| panic!("{} failed: {e}", s.name));
+    }
+    if full {
+        for s in select("ablation", &[]).unwrap() {
+            (s.run)(&ctx).unwrap_or_else(|e| panic!("{} failed: {e}", s.name));
+        }
+    }
+
+    let mut compared = 0usize;
+    for entry in std::fs::read_dir(&tmp).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let name = p.file_name().unwrap().to_str().unwrap().to_string();
+        let fresh = std::fs::read(&p).unwrap();
+        let golden = std::fs::read(golden_dir().join(&name))
+            .unwrap_or_else(|e| panic!("no golden file for {name}: {e}"));
+        assert_eq!(
+            fresh, golden,
+            "{name} drifted from the checked-in golden CSV — the registry \
+             pipeline no longer reproduces results/ byte-for-byte"
+        );
+        compared += 1;
+    }
+    assert!(compared >= 5, "only {compared} CSVs compared");
+    let _ = std::fs::remove_dir_all(&tmp);
+}

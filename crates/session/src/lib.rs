@@ -1,0 +1,35 @@
+//! # session — the canonical run pipeline
+//!
+//! Every consumer of the simulator (the CLI, the figure harness, the chaos
+//! and ablation sweeps, examples and tests) runs through the same three
+//! layers instead of hand-wiring workload → [`mpisim::Program`] →
+//! [`mpisim::World`] → [`tmio::Tracer`] → [`tmio::Report`] glue:
+//!
+//! 1. [`Workload`] — what runs: anything that can emit per-rank programs
+//!    and the files they touch. The paper's two applications are provided
+//!    ([`HaccIo`], [`Wacomm`]); new workloads plug in without touching the
+//!    runners, and [`RawWorkload`] lifts ad-hoc op lists into the pipeline.
+//! 2. [`ExpConfig`] — how it runs: the knobs the paper varies, with a full
+//!    builder surface (`with_seed`, `with_noise`, `with_pfs`, …) and the
+//!    seeded [`simcore::FaultPlan`] for chaos runs.
+//! 3. [`Session`] / [`SessionBuilder`] — one execution entry point that
+//!    composes the config, the workload, the tracer and the fault plan,
+//!    and can stream results into a [`MetricsSink`] ([`MemorySink`],
+//!    [`CsvSink`], [`JsonReportSink`]).
+//!
+//! The legacy free functions ([`run_hacc`], [`run_wacomm`], …) are thin
+//! wrappers over a [`Session`] and remain the stable convenience API.
+
+#![warn(missing_docs)]
+
+mod config;
+mod run;
+mod sink;
+mod workload;
+
+pub use config::ExpConfig;
+pub use run::{RunOutput, Session, SessionBuilder};
+pub use sink::{CsvSink, JsonReportSink, MemorySink, MetricsSink, RunMeta};
+pub use workload::{
+    run_hacc, run_hacc_sync, run_wacomm, run_wacomm_sync, HaccIo, RawWorkload, Wacomm, Workload,
+};

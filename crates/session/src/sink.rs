@@ -1,0 +1,180 @@
+//! Streaming metric sinks: where a [`Session`](crate::Session) delivers
+//! its results.
+//!
+//! Frontends no longer post-process [`RunOutput`] each in their own way —
+//! they pick a backend: [`MemorySink`] (collect in memory), [`CsvSink`]
+//! (stream rows to `results/*.csv`), or [`JsonReportSink`] (the full TMIO
+//! trace in the format the real library emits at `MPI_Finalize`).
+
+use crate::RunOutput;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Metadata identifying one run in a sink.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// Workload name (e.g. `hacc`, `wacomm-sync`).
+    pub workload: String,
+    /// MPI ranks.
+    pub n_ranks: usize,
+    /// Limiting-strategy name.
+    pub strategy: &'static str,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// A streaming consumer of run results.
+pub trait MetricsSink {
+    /// Called once per completed run with its metadata and full output.
+    fn on_run(&mut self, meta: &RunMeta, out: &RunOutput);
+}
+
+/// Collects every run in memory (tests, ad-hoc analysis).
+#[derive(Default)]
+pub struct MemorySink {
+    /// The collected runs, in completion order.
+    pub runs: Vec<(RunMeta, RunOutput)>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MetricsSink for MemorySink {
+    fn on_run(&mut self, meta: &RunMeta, out: &RunOutput) {
+        self.runs.push((meta.clone(), out.clone()));
+    }
+}
+
+/// Streams CSV rows to a file, writing the header eagerly — the shared
+/// backend behind every figure/ablation/chaos CSV.
+pub struct CsvSink {
+    w: BufWriter<fs::File>,
+    path: PathBuf,
+    rows: usize,
+}
+
+impl CsvSink {
+    /// Creates `path` and writes `header` immediately.
+    pub fn create(path: impl Into<PathBuf>, header: &str) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut w = BufWriter::new(fs::File::create(&path)?);
+        writeln!(w, "{header}")?;
+        Ok(CsvSink { w, path, rows: 0 })
+    }
+
+    /// Appends one pre-formatted row.
+    pub fn row(&mut self, row: &str) -> std::io::Result<()> {
+        writeln!(self.w, "{row}")?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Appends many pre-formatted rows.
+    pub fn rows(&mut self, rows: &[String]) -> std::io::Result<()> {
+        for r in rows {
+            self.row(r)?;
+        }
+        Ok(())
+    }
+
+    /// Rows written so far (excluding the header).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no data row has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes and returns the path.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.w.flush()?;
+        Ok(self.path)
+    }
+
+    /// The standard per-run summary header matching the
+    /// [`MetricsSink`] impl's row format.
+    pub const RUN_HEADER: &'static str =
+        "workload,ranks,strategy,seed,app_s,post_s,required_Bps,calls";
+}
+
+impl MetricsSink for CsvSink {
+    fn on_run(&mut self, meta: &RunMeta, out: &RunOutput) {
+        let row = format!(
+            "{},{},{},{},{:.6},{:.6},{:.1},{}",
+            meta.workload,
+            meta.n_ranks,
+            meta.strategy,
+            meta.seed,
+            out.app_time(),
+            out.report.post_overhead,
+            out.report.required_bandwidth(),
+            out.report.calls,
+        );
+        self.row(&row).expect("CsvSink: write row");
+    }
+}
+
+/// Writes each run's full TMIO report as JSON — the trace the real TMIO
+/// emits at `MPI_Finalize`. The first run goes to the configured path,
+/// later runs to `<stem>-<n>.<ext>`.
+pub struct JsonReportSink {
+    path: PathBuf,
+    written: usize,
+}
+
+impl JsonReportSink {
+    /// Targets `path` for the first (usually only) run's report.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonReportSink {
+            path: path.into(),
+            written: 0,
+        }
+    }
+
+    fn nth_path(&self, n: usize) -> PathBuf {
+        if n == 0 {
+            return self.path.clone();
+        }
+        let stem = self
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".into());
+        let ext = self
+            .path
+            .extension()
+            .map(|e| format!(".{}", e.to_string_lossy()))
+            .unwrap_or_default();
+        self.path.with_file_name(format!("{stem}-{n}{ext}"))
+    }
+
+    /// Paths written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+}
+
+impl MetricsSink for JsonReportSink {
+    fn on_run(&mut self, _meta: &RunMeta, out: &RunOutput) {
+        let path = self.nth_path(self.written);
+        fs::write(&path, out.report.to_json()).expect("JsonReportSink: write report");
+        self.written += 1;
+    }
+}

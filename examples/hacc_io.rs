@@ -5,7 +5,6 @@
 //! (defaults: 64 ranks, 100 000 particles/rank, 10 loops — the Fig. 11
 //! configuration at a laptop-friendly rank count).
 
-use iobts::experiments::{run_hacc, ExpConfig};
 use iobts::prelude::*;
 
 fn main() {
@@ -48,7 +47,10 @@ fn main() {
         "strategy", "time [s]", "B [GB/s]", "peakT[GB/s]", "exploit%", "lost%", "sync%"
     );
     for strategy in strategies {
-        let out = run_hacc(&ExpConfig::new(ranks, strategy), &hacc);
+        let out = Session::builder(ExpConfig::new(ranks, strategy))
+            .workload(HaccIo::new(hacc))
+            .build()
+            .run();
         let d = out.report.decomposition();
         let pct = d.percentages();
         // Peak throughput after the limiter engages (whole run for "none").

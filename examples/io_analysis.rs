@@ -4,7 +4,6 @@
 //!
 //! Run with: `cargo run --release --example io_analysis`
 
-use iobts::experiments::{run_hacc, run_hacc_sync, ExpConfig};
 use iobts::prelude::*;
 use pfsim::burstbuffer::{required_drain_bandwidth, sustainable};
 use pfsim::BurstBufferConfig;
@@ -20,7 +19,10 @@ fn main() {
     // ------------------------------------------------------------------
     // 1. FTIO: detect the application's I/O period from the PFS signal.
     println!("=== FTIO period detection (HACC-IO, 16 ranks, 12 loops) ===");
-    let out = run_hacc(&ExpConfig::new(16, Strategy::None), &hacc);
+    let out = Session::builder(ExpConfig::new(16, Strategy::None))
+        .workload(HaccIo::new(hacc))
+        .build()
+        .run();
     let loop_period = hacc.compute_seconds() + hacc.verify_seconds() + hacc.data_bytes() / 10e9; // + memcpy
     match ftio::detect_period(&out.pfs_write, 0.0, out.app_time(), 2048) {
         Some(est) => {
@@ -51,15 +53,19 @@ fn main() {
         required_drain_bandwidth(burst, period, &bb).unwrap() / 1e6,
         sustainable(burst, period, &bb),
     );
-    let mut direct = ExpConfig::new(16, Strategy::None);
-    direct.pfs = pfsim::PfsConfig {
+    let direct = ExpConfig::new(16, Strategy::None).with_pfs(pfsim::PfsConfig {
         write_capacity: 1e9,
         read_capacity: 1e9,
+    });
+    let buffered = direct.clone().with_burst_buffer(bb);
+    let sync_run = |cfg| {
+        Session::builder(cfg)
+            .workload(HaccIo::sync(hacc))
+            .build()
+            .run()
     };
-    let mut buffered = direct.clone();
-    buffered.burst_buffer = Some(bb);
-    let d = run_hacc_sync(&direct, &hacc);
-    let b = run_hacc_sync(&buffered, &hacc);
+    let d = sync_run(direct);
+    let b = sync_run(buffered);
     let dw = |o: &iobts::experiments::RunOutput| o.report.decomposition().sync_write / 16.0;
     println!(
         "sync HACC-IO on a 1 GB/s PFS: {:.2} s without the tier, {:.2} s with it \

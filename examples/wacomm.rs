@@ -6,7 +6,6 @@
 //! (defaults: 96 ranks, 50 iterations — the Fig. 8/9 configuration).
 
 use hpcwl::wacomm::kernel;
-use iobts::experiments::{run_wacomm, ExpConfig};
 use iobts::prelude::*;
 use simcore::SimTime;
 
@@ -43,9 +42,15 @@ fn main() {
          2e6 particles total ===\n"
     );
 
-    let none = run_wacomm(&ExpConfig::new(ranks, Strategy::None), &wc);
-    let uponly = run_wacomm(&ExpConfig::new(ranks, Strategy::UpOnly { tol: 1.1 }), &wc);
-    let direct = run_wacomm(&ExpConfig::new(ranks, Strategy::Direct { tol: 2.0 }), &wc);
+    let run = |strategy| {
+        Session::builder(ExpConfig::new(ranks, strategy))
+            .workload(Wacomm::new(wc))
+            .build()
+            .run()
+    };
+    let none = run(Strategy::None);
+    let uponly = run(Strategy::UpOnly { tol: 1.1 });
+    let direct = run(Strategy::Direct { tol: 2.0 });
 
     println!(
         "{:<16} {:>9} {:>11} {:>12} {:>9}",

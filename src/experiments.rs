@@ -1,208 +1,11 @@
 //! Canonical experiment runners shared by examples, integration tests and
 //! the figure-regeneration harness.
 //!
-//! Each runner wires a workload ([`hpcwl`]) into a world ([`mpisim`]) under
-//! the TMIO tracer ([`tmio`]) with paper-like defaults, and returns both the
-//! runtime summary and the TMIO report.
+//! This module is now a thin façade over the [`session`] crate: the
+//! pipeline lives behind [`session::Session`] (config × workload × tracer
+//! × fault plan), and the historical free functions re-exported here are
+//! convenience wrappers over it. Prefer building a
+//! [`Session`](session::Session) directly for new code — any
+//! [`session::Workload`] plugs in without touching the runners.
 
-use hpcwl::hacc::HaccConfig;
-use hpcwl::wacomm::WacommConfig;
-use mpisim::{Program, RunSummary, World, WorldConfig};
-use pfsim::PfsConfig;
-use simcore::{FaultPlan, Noise, StepSeries};
-use tmio::{Report, Strategy, Tracer, TracerConfig};
-
-/// Common experiment configuration (the knobs the paper varies).
-///
-/// Not `Copy`: the embedded [`FaultPlan`] owns its schedules. Clone
-/// explicitly when deriving configs in sweeps.
-#[derive(Clone, Debug)]
-pub struct ExpConfig {
-    /// MPI ranks.
-    pub n_ranks: usize,
-    /// Limiting strategy ([`Strategy::None`] = trace only, limiter off).
-    pub strategy: Strategy,
-    /// Master seed.
-    pub seed: u64,
-    /// Compute-phase noise. Quantized so synchronized ranks stay in a
-    /// bounded number of PFS flow groups (see DESIGN.md §4).
-    pub compute_noise: Noise,
-    /// PFS capacities (defaults to Lichtenberg's 106/120 GB/s).
-    pub pfs: PfsConfig,
-    /// ADIO sub-request size, bytes.
-    pub subreq_bytes: f64,
-    /// Optional PFS capacity noise (I/O variability, Fig. 14).
-    pub capacity_noise: Option<mpisim::CapacityNoiseCfg>,
-    /// I/O↔compute interference strength (0 = off); see
-    /// [`mpisim::WorldConfig::interference_alpha`].
-    pub interference_alpha: f64,
-    /// Whether the limiter also paces blocking I/O (paper default: true).
-    pub limit_sync_ops: bool,
-    /// Optional burst-buffer write tier (future-work extension).
-    pub burst_buffer: Option<pfsim::BurstBufferConfig>,
-    /// Window-end semantics for `B_{i,j}` (paper default: first wait).
-    pub te_mode: tmio::TeMode,
-    /// Per-request aggregation into `B_{i,j}` (paper default: sum).
-    pub aggregation: tmio::Aggregation,
-    /// Record PFS rate series (disable in large sweeps).
-    pub record_pfs: bool,
-    /// Seeded fault schedule (the chaos harness); the default empty plan
-    /// reproduces the fault-free run bit-for-bit.
-    pub faults: FaultPlan,
-}
-
-impl ExpConfig {
-    /// Paper-like defaults for `n_ranks` ranks under `strategy`.
-    pub fn new(n_ranks: usize, strategy: Strategy) -> Self {
-        ExpConfig {
-            n_ranks,
-            strategy,
-            seed: 2024,
-            compute_noise: Noise::QuantizedRel {
-                amplitude: 0.03,
-                levels: 8,
-            },
-            pfs: PfsConfig::default(),
-            subreq_bytes: 1024.0 * 1024.0,
-            capacity_noise: None,
-            interference_alpha: 0.0,
-            limit_sync_ops: true,
-            burst_buffer: None,
-            te_mode: tmio::TeMode::FirstWait,
-            aggregation: tmio::Aggregation::Sum,
-            record_pfs: true,
-            faults: FaultPlan::default(),
-        }
-    }
-
-    /// Disables compute noise (exact analytic checks in tests).
-    pub fn exact(mut self) -> Self {
-        self.compute_noise = Noise::None;
-        self
-    }
-
-    /// Installs a fault plan (builder style).
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
-        self
-    }
-
-    fn world_config(&self) -> WorldConfig {
-        let mut wc = WorldConfig::new(self.n_ranks)
-            .with_limiter(self.strategy.limits())
-            .with_compute_noise(self.compute_noise)
-            .with_seed(self.seed);
-        wc.pfs = self.pfs;
-        wc.subreq_bytes = self.subreq_bytes;
-        wc.capacity_noise = self.capacity_noise;
-        wc.interference_alpha = self.interference_alpha;
-        wc.limit_sync_ops = self.limit_sync_ops;
-        wc.burst_buffer = self.burst_buffer;
-        wc.record_pfs = self.record_pfs;
-        wc.faults = self.faults.clone();
-        wc
-    }
-
-    fn tracer_config(&self) -> TracerConfig {
-        let mut tc = TracerConfig::with_strategy(self.strategy);
-        tc.te_mode = self.te_mode;
-        tc.aggregation = self.aggregation;
-        tc
-    }
-}
-
-/// Everything one run produces.
-#[derive(Clone, Debug)]
-pub struct RunOutput {
-    /// Runtime summary (makespan, per-rank accounting).
-    pub summary: RunSummary,
-    /// The TMIO report (phases, windows, decomposition, overheads).
-    pub report: Report,
-    /// Physical PFS write-rate series.
-    pub pfs_write: StepSeries,
-    /// Physical PFS read-rate series.
-    pub pfs_read: StepSeries,
-}
-
-impl RunOutput {
-    /// Application runtime (no post-runtime overhead), seconds.
-    pub fn app_time(&self) -> f64 {
-        self.summary.makespan()
-    }
-
-    /// Total runtime including TMIO's modeled post-runtime overhead.
-    pub fn total_time(&self) -> f64 {
-        self.app_time() + self.report.post_overhead
-    }
-}
-
-/// Runs programs under the tracer and collects everything.
-fn run_programs(cfg: &ExpConfig, programs: Vec<Program>, files: &[&str]) -> RunOutput {
-    let tracer = Tracer::new(cfg.n_ranks, cfg.tracer_config());
-    let mut world = World::new(cfg.world_config(), programs, tracer);
-    for f in files {
-        world.create_file(f);
-    }
-    let summary = world.run();
-    let pfs_write = world.pfs_series(mpisim::Channel::Write).clone();
-    let pfs_read = world.pfs_series(mpisim::Channel::Read).clone();
-    let report = std::mem::replace(
-        world.hooks_mut(),
-        Tracer::new(0, TracerConfig::trace_only()),
-    )
-    .into_report();
-    RunOutput {
-        summary,
-        report,
-        pfs_write,
-        pfs_read,
-    }
-}
-
-/// Runs the modified HACC-IO benchmark (Fig. 12 structure). Each rank
-/// writes to its own file, as in the paper's non-collective setting.
-pub fn run_hacc(cfg: &ExpConfig, hacc: &HaccConfig) -> RunOutput {
-    // One file per rank: the paper uses individual file pointers to
-    // distinct files. The simulated registry only tracks byte counts, so a
-    // single registered name per rank suffices.
-    let programs: Vec<Program> = (0..cfg.n_ranks)
-        .map(|r| hacc.program(mpisim::FileId(r as u32)))
-        .collect();
-    let names: Vec<String> = (0..cfg.n_ranks).map(|r| format!("hacc.{r}.dat")).collect();
-    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-    run_programs(cfg, programs, &refs)
-}
-
-/// Runs the vanilla synchronous HACC-IO baseline.
-pub fn run_hacc_sync(cfg: &ExpConfig, hacc: &HaccConfig) -> RunOutput {
-    let programs: Vec<Program> = (0..cfg.n_ranks)
-        .map(|r| hacc.program_sync(mpisim::FileId(r as u32)))
-        .collect();
-    let names: Vec<String> = (0..cfg.n_ranks).map(|r| format!("hacc.{r}.dat")).collect();
-    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-    run_programs(cfg, programs, &refs)
-}
-
-/// Runs the WaComM-like pollutant transport workload.
-pub fn run_wacomm(cfg: &ExpConfig, wc: &WacommConfig) -> RunOutput {
-    let input = mpisim::FileId(0);
-    let programs: Vec<Program> = (0..cfg.n_ranks)
-        .map(|r| wc.program(r, cfg.n_ranks, input, mpisim::FileId(1 + r as u32)))
-        .collect();
-    let mut names: Vec<String> = vec!["wacomm.in".to_string()];
-    names.extend((0..cfg.n_ranks).map(|r| format!("wacomm.{r}.out")));
-    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-    run_programs(cfg, programs, &refs)
-}
-
-/// Runs the original synchronous WaComM++ baseline.
-pub fn run_wacomm_sync(cfg: &ExpConfig, wc: &WacommConfig) -> RunOutput {
-    let input = mpisim::FileId(0);
-    let programs: Vec<Program> = (0..cfg.n_ranks)
-        .map(|r| wc.program_sync(r, cfg.n_ranks, input, mpisim::FileId(1 + r as u32)))
-        .collect();
-    let mut names: Vec<String> = vec!["wacomm.in".to_string()];
-    names.extend((0..cfg.n_ranks).map(|r| format!("wacomm.{r}.out")));
-    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-    run_programs(cfg, programs, &refs)
-}
+pub use session::{run_hacc, run_hacc_sync, run_wacomm, run_wacomm_sync, ExpConfig, RunOutput};

@@ -14,8 +14,13 @@
 //!   study;
 //! * [`simcore`] — the discrete-event core.
 //!
-//! [`experiments`] bundles the standard run configurations used by the
-//! examples, the integration tests and the figure-regeneration harness.
+//! * [`session`] — the canonical run pipeline: the `Workload` trait, the
+//!   `ExpConfig` builder, the `Session` entry point and streaming
+//!   `MetricsSink` backends.
+//!
+//! [`experiments`] re-exports the session crate's standard configurations
+//! and legacy runner wrappers used by the examples, the integration tests
+//! and the figure-regeneration harness.
 
 #![warn(missing_docs)]
 
@@ -23,6 +28,7 @@ pub use clustersim;
 pub use hpcwl;
 pub use mpisim;
 pub use pfsim;
+pub use session;
 pub use simcore;
 pub use tmio;
 
@@ -34,5 +40,8 @@ pub mod prelude {
     pub use hpcwl::hacc::HaccConfig;
     pub use hpcwl::wacomm::WacommConfig;
     pub use mpisim::{threaded::Threaded, WorldConfig};
+    pub use session::{
+        HaccIo, MemorySink, MetricsSink, RawWorkload, Session, SessionBuilder, Wacomm, Workload,
+    };
     pub use tmio::{Strategy, Tracer, TracerConfig};
 }

@@ -12,8 +12,9 @@
 //! overheads); `--json PATH` additionally writes the full trace in the
 //! format the real TMIO emits at `MPI_Finalize`.
 
-use iobts::experiments::{run_hacc, run_wacomm, ExpConfig, RunOutput};
+use iobts::experiments::{ExpConfig, RunOutput};
 use iobts::prelude::*;
+use iobts::session::JsonReportSink;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -170,10 +171,15 @@ fn print_summary(out: &RunOutput) {
     }
 }
 
-fn maybe_json(opts: &Opts, out: &RunOutput) -> Result<(), String> {
+/// Runs a fully built session, streaming the TMIO trace to `--json PATH`
+/// when requested, and prints the summary.
+fn run_and_report(opts: &Opts, session: &Session) -> Result<(), String> {
+    let out = match opts.0.get("json") {
+        Some(path) => session.run_into(&mut JsonReportSink::new(path)),
+        None => session.run(),
+    };
+    print_summary(&out);
     if let Some(path) = opts.0.get("json") {
-        std::fs::write(path, out.report.to_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("\ntrace written to {path}");
     }
     Ok(())
@@ -186,17 +192,15 @@ fn cmd_hacc(opts: &Opts) -> Result<(), String> {
         loops: opts.get("loops", 10usize)?,
         ..Default::default()
     };
-    let mut cfg = ExpConfig::new(ranks, opts.strategy()?);
-    cfg.seed = opts.get("seed", 2024u64)?;
+    let cfg = ExpConfig::new(ranks, opts.strategy()?).with_seed(opts.get("seed", 2024u64)?);
     println!(
         "HACC-IO: {ranks} ranks × {} particles × {} loops, strategy {}\n",
         hacc.particles_per_rank,
         hacc.loops,
         cfg.strategy.name()
     );
-    let out = run_hacc(&cfg, &hacc);
-    print_summary(&out);
-    maybe_json(opts, &out)
+    let session = Session::builder(cfg).workload(HaccIo::new(hacc)).build();
+    run_and_report(opts, &session)
 }
 
 fn cmd_wacomm(opts: &Opts) -> Result<(), String> {
@@ -205,16 +209,14 @@ fn cmd_wacomm(opts: &Opts) -> Result<(), String> {
         iterations: opts.get("iterations", 50usize)?,
         ..Default::default()
     };
-    let mut cfg = ExpConfig::new(ranks, opts.strategy()?);
-    cfg.seed = opts.get("seed", 2024u64)?;
+    let cfg = ExpConfig::new(ranks, opts.strategy()?).with_seed(opts.get("seed", 2024u64)?);
     println!(
         "WaComM: {ranks} ranks, {} iterations, strategy {}\n",
         wc.iterations,
         cfg.strategy.name()
     );
-    let out = run_wacomm(&cfg, &wc);
-    print_summary(&out);
-    maybe_json(opts, &out)
+    let session = Session::builder(cfg).workload(Wacomm::new(wc)).build();
+    run_and_report(opts, &session)
 }
 
 fn cmd_cluster(opts: &Opts) -> Result<(), String> {
@@ -258,7 +260,10 @@ fn cmd_period(opts: &Opts) -> Result<(), String> {
         ..Default::default()
     };
     let cfg = ExpConfig::new(ranks, Strategy::None);
-    let out = run_hacc(&cfg, &hacc);
+    let out = Session::builder(cfg)
+        .workload(HaccIo::new(hacc))
+        .build()
+        .run();
     println!("HACC-IO {ranks} ranks: runtime {:.2} s", out.app_time());
     match iobts::tmio::ftio::detect_period(&out.pfs_write, 0.0, out.app_time(), 2048) {
         Some(est) => {

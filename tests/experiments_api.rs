@@ -53,8 +53,7 @@ fn sync_baseline_has_no_phases() {
 
 #[test]
 fn record_pfs_off_yields_empty_series() {
-    let mut cfg = ExpConfig::new(2, Strategy::None);
-    cfg.record_pfs = false;
+    let cfg = ExpConfig::new(2, Strategy::None).with_record_pfs(false);
     let out = run_wacomm(
         &cfg,
         &WacommConfig {
@@ -69,8 +68,7 @@ fn record_pfs_off_yields_empty_series() {
 #[test]
 fn seeds_thread_through_the_pipeline() {
     let time = |seed| {
-        let mut cfg = ExpConfig::new(4, Strategy::Direct { tol: 1.1 });
-        cfg.seed = seed;
+        let cfg = ExpConfig::new(4, Strategy::Direct { tol: 1.1 }).with_seed(seed);
         run_hacc(&cfg, &small_hacc()).app_time()
     };
     assert_eq!(time(1), time(1));
@@ -79,13 +77,12 @@ fn seeds_thread_through_the_pipeline() {
 
 #[test]
 fn burst_buffer_passes_through_exp_config() {
-    let mut cfg = ExpConfig::new(2, Strategy::None);
-    cfg.pfs = pfsim::PfsConfig {
+    let cfg = ExpConfig::new(2, Strategy::None).with_pfs(pfsim::PfsConfig {
         write_capacity: 50e6,
         read_capacity: 1e9,
-    };
+    });
     let slow: RunOutput = run_hacc_sync(&cfg, &small_hacc());
-    cfg.burst_buffer = Some(pfsim::BurstBufferConfig {
+    let cfg = cfg.with_burst_buffer(pfsim::BurstBufferConfig {
         size_bytes: 1e9,
         absorb_rate: 5e9,
         drain_rate: 50e6,

@@ -26,8 +26,7 @@ fn small_hacc() -> HaccConfig {
 }
 
 fn run(cfg: &ExpConfig) -> RunOutput {
-    let mut cfg = cfg.clone();
-    cfg.record_pfs = false;
+    let cfg = cfg.clone().with_record_pfs(false);
     run_hacc(&cfg, &small_hacc())
 }
 
