@@ -16,6 +16,7 @@ use crate::write_csv;
 use hpcwl::hacc::HaccConfig;
 use hpcwl::wacomm::WacommConfig;
 use iobts::session::{ExpConfig, HaccIo, RawWorkload, RunOutput, Session, Wacomm};
+use simcore::Invariant;
 use tmio::{Aggregation, Strategy, TeMode};
 
 fn hacc() -> HaccConfig {
@@ -88,7 +89,8 @@ pub fn tol_sweep(ctx: &ScenarioCtx) -> Result<(), String> {
         rows.push(format!("{tol},{t:.4},{lost:.2},{exploit:.2}"));
     }
     if ctx.emit {
-        write_csv("ablation_tol", "tol,time_s,lost_pct,exploit_pct", &rows);
+        write_csv("ablation_tol", "tol,time_s,lost_pct,exploit_pct", &rows)
+            .map_err(|e| e.to_string())?;
         println!("(lower tol -> more waiting; higher tol -> less exploitation)");
     }
     Ok(())
@@ -127,7 +129,8 @@ pub fn subreq_sweep(ctx: &ScenarioCtx) -> Result<(), String> {
             "ablation_subreq",
             "subreq_kib,time_s,lost_pct,peak_mbs",
             &rows,
-        );
+        )
+        .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -185,7 +188,8 @@ pub fn semantics(ctx: &ScenarioCtx) -> Result<(), String> {
         }
     }
     if ctx.emit {
-        write_csv("ablation_semantics", "te,agg,rank_B_mbs,app_B_mbs", &rows);
+        write_csv("ablation_semantics", "te,agg,rank_B_mbs,app_B_mbs", &rows)
+            .map_err(|e| e.to_string())?;
         println!("(the paper picks FirstWait+Sum — the highest, most conservative B)");
     }
     Ok(())
@@ -224,7 +228,8 @@ pub fn limit_sync(ctx: &ScenarioCtx) -> Result<(), String> {
             "ablation_limitsync",
             "limit_sync,time_s,sync_write_mean_s",
             &rows,
-        );
+        )
+        .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -262,7 +267,8 @@ pub fn interference(ctx: &ScenarioCtx) -> Result<(), String> {
             "ablation_interference",
             "alpha,none_s,uponly_s,gain_pct",
             &rows,
-        );
+        )
+        .map_err(|e| e.to_string())?;
         println!(
             "(both runs slow equally: pacing preserves the burst microstructure, so\n\
              the paper's thread-competition speedup is not reproducible in a fluid\n\
@@ -308,7 +314,8 @@ pub fn mfu(ctx: &ScenarioCtx) -> Result<(), String> {
             "ablation_mfu",
             "strategy,time_s,lost_pct,exploit_pct",
             &rows,
-        );
+        )
+        .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -334,7 +341,7 @@ pub fn burst_buffer(ctx: &ScenarioCtx) -> Result<(), String> {
             "per-rank burst {:.1} MB every {:.2} s -> required drain {:.1} MB/s (drain cap {:.0} MB/s)",
             hc.data_bytes() / 1e6,
             period,
-            required_drain_bandwidth(hc.data_bytes(), period, &bb).unwrap() / 1e6,
+            required_drain_bandwidth(hc.data_bytes(), period, &bb).invariant("drainable config") / 1e6,
             bb.drain_rate / 1e6,
         );
         println!(
@@ -380,7 +387,8 @@ pub fn burst_buffer(ctx: &ScenarioCtx) -> Result<(), String> {
             "ablation_bb",
             "with_bb,time_s,sync_write_mean_s,peak_mbs",
             &rows,
-        );
+        )
+        .map_err(|e| e.to_string())?;
         println!(
             "(the buffer absorbs the bursts: visible sync-write time collapses and the\n\
              runtime improves; the same bytes still cross the PFS, so its saturation\n\

@@ -20,7 +20,7 @@ use hpcwl::hacc::HaccConfig;
 use hpcwl::wacomm::WacommConfig;
 use iobts::session::{ExpConfig, HaccIo, RunOutput, Session, Wacomm};
 use simcore::{
-    CancelSpec, ChannelFaultWindow, FaultChannel, FaultPlan, IoErrorKind, IoErrorModel,
+    CancelSpec, ChannelFaultWindow, FaultChannel, FaultPlan, Invariant, IoErrorKind, IoErrorModel,
     StragglerSpec,
 };
 use std::collections::HashMap;
@@ -345,12 +345,17 @@ fn base_run(case: Case, strategy_name: &str, strategy: Strategy, quick: bool) ->
     static CACHE: OnceLock<Mutex<HashMap<String, Arc<RunOutput>>>> = OnceLock::new();
     let key = format!("{}/{}/{}", case.label(), strategy_name, quick);
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().unwrap().get(&key) {
+    if let Some(hit) = cache.lock().invariant("chaos cache lock").get(&key) {
         return Arc::clone(hit);
     }
     let cfg = ExpConfig::new(case.ranks(), strategy).with_record_pfs(false);
     let base = Arc::new(case.run(cfg));
-    cache.lock().unwrap().entry(key).or_insert(base).clone()
+    cache
+        .lock()
+        .invariant("chaos cache lock")
+        .entry(key)
+        .or_insert(base)
+        .clone()
 }
 
 /// Runs one named fault plan over all (workload, strategy) cases; the
@@ -411,7 +416,7 @@ pub fn run_plan(plan: &'static str, ctx: &ScenarioCtx) -> Result<(), String> {
         }
     }
     if ctx.emit {
-        crate::csv::write_rows(&format!("chaos_{plan}"), &rows);
+        crate::csv::write_rows(&format!("chaos_{plan}"), &rows).map_err(|e| e.to_string())?;
         println!(
             "chaos.{plan}: {} fault runs x2 (replay) in {:.1} s, {failures} violation(s)",
             rows.len(),

@@ -26,27 +26,31 @@ pub fn rows<R: CsvRow>(items: &[R]) -> Vec<String> {
     items.iter().map(CsvRow::row).collect()
 }
 
-/// Writes typed rows (header from the type) to `results/<name>.csv`.
-pub fn write_rows<R: CsvRow>(name: &str, items: &[R]) -> PathBuf {
+/// Writes typed rows (header from the type) to `results/<name>.csv`
+/// atomically (temp file + rename; see [`write_csv`]).
+pub fn write_rows<R: CsvRow>(name: &str, items: &[R]) -> std::io::Result<PathBuf> {
     write_csv(name, R::HEADER, &rows(items))
 }
 
 /// Where figure CSVs are written (`results/` under the workspace root, or
-/// `$IOBTS_RESULTS_DIR`).
+/// `$IOBTS_RESULTS_DIR`). Creation is attempted but not required here —
+/// the writer surfaces the error with the actual path if the directory
+/// cannot exist.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("IOBTS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
     let p = PathBuf::from(dir);
-    std::fs::create_dir_all(&p).expect("create results dir");
+    let _ = std::fs::create_dir_all(&p);
     p
 }
 
 /// Writes CSV rows (with a header) to `results/<name>.csv`, returning the
-/// path.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+/// path. The rows land in a temp sibling first and are renamed into place
+/// on success, so an interrupted run never leaves a truncated CSV.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<PathBuf> {
     let path = results_dir().join(format!("{name}.csv"));
-    let mut sink = CsvSink::create(&path, header).expect("create csv");
-    sink.rows(rows).expect("write rows");
-    sink.finish().expect("flush csv")
+    let mut sink = CsvSink::create(&path, header)?;
+    sink.rows(rows)?;
+    sink.finish()
 }
 
 /// Resamples a step series into `(t, value)` CSV rows.

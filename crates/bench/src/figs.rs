@@ -10,6 +10,7 @@ use crate::registry::ScenarioCtx;
 use crate::scenarios;
 use crate::{multi_series_rows, sweeps, write_csv};
 use iobts::session::RunOutput;
+use simcore::Invariant;
 use tmio::Strategy;
 
 fn header(id: &str, what: &str) {
@@ -59,7 +60,8 @@ pub fn fig01_02(ctx: &ScenarioCtx) -> Result<(), String> {
         "fig01_jobs",
         "job,nodes,start_free,end_free,start_lim,end_lim,runtime_free,runtime_lim",
         &rows,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!("-> {}", p.display());
 
     header("fig02", "total PFS bandwidth over time for both cases");
@@ -85,7 +87,8 @@ pub fn fig01_02(ctx: &ScenarioCtx) -> Result<(), String> {
         "fig02_bandwidth",
         "t,without_limit_Bps,with_limit_Bps",
         &rows,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!("-> {}", p.display());
     // Job-4 band for the stacked view.
     let rows4 = multi_series_rows(
@@ -94,7 +97,8 @@ pub fn fig01_02(ctx: &ScenarioCtx) -> Result<(), String> {
         horizon,
         240,
     );
-    let p = write_csv("fig02_job4", "t,job4_free_Bps,job4_limited_Bps", &rows4);
+    let p = write_csv("fig02_job4", "t,job4_free_Bps,job4_limited_Bps", &rows4)
+        .map_err(|e| e.to_string())?;
     println!("-> {}", p.display());
     Ok(())
 }
@@ -112,7 +116,7 @@ pub fn fig03(ctx: &ScenarioCtx) -> Result<(), String> {
     );
     let mut rows = Vec::new();
     let mut spans: Vec<_> = out.report.spans.iter().filter(|s| s.rank == 0).collect();
-    spans.sort_by(|a, b| a.submit.partial_cmp(&b.submit).unwrap());
+    spans.sort_by(|a, b| a.submit.total_cmp(&b.submit));
     for (j, s) in spans.iter().enumerate() {
         let dt = s.wait_enter - s.submit;
         let dta = s.complete - s.submit;
@@ -129,7 +133,8 @@ pub fn fig03(ctx: &ScenarioCtx) -> Result<(), String> {
         "fig03_timeline",
         "phase,submit,complete,wait_enter,dt,dta",
         &rows,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!("-> {}", p.display());
     println!("(Δtᵃ < Δt on every phase: the I/O is fully hidden, as in Fig. 3)");
     Ok(())
@@ -166,7 +171,7 @@ pub fn fig04(ctx: &ScenarioCtx) -> Result<(), String> {
         println!("  region starts at t={t}: B_r = {v}");
         rows.push(format!("{t},{v}"));
     }
-    let p = write_csv("fig04_regions", "ts_r,B_r", &rows);
+    let p = write_csv("fig04_regions", "ts_r,B_r", &rows).map_err(|e| e.to_string())?;
     println!("-> {}", p.display());
     Ok(())
 }
@@ -191,7 +196,8 @@ pub fn fig05_06(ctx: &ScenarioCtx) -> Result<(), String> {
         );
     }
     let csv = crate::csv::rows(&rows);
-    let p = write_csv("fig05_06_overheads", scenarios::OverheadRow::HEADER, &csv);
+    let p = write_csv("fig05_06_overheads", scenarios::OverheadRow::HEADER, &csv)
+        .map_err(|e| e.to_string())?;
     println!("-> {}", p.display());
 
     header("fig06", "HACC-IO total-time distribution (direct vs none)");
@@ -257,12 +263,13 @@ pub fn fig07(ctx: &ScenarioCtx) -> Result<(), String> {
         "WaComM time distribution (direct tol=2 / up-only tol=1.1 / none)",
     );
     let csv = print_dist(&rows);
-    let p = write_csv("fig07_wacomm_dist", scenarios::DistRow::HEADER, &csv);
+    let p = write_csv("fig07_wacomm_dist", scenarios::DistRow::HEADER, &csv)
+        .map_err(|e| e.to_string())?;
     println!("-> {}", p.display());
     Ok(())
 }
 
-fn dump_series(out: &RunOutput, name: &str) {
+fn dump_series(out: &RunOutput, name: &str) -> Result<(), String> {
     let horizon = out.app_time();
     let t_series = out.report.throughput_series();
     let b_series = out.report.required_series();
@@ -271,7 +278,7 @@ fn dump_series(out: &RunOutput, name: &str) {
     println!("  B_L {}", crate::sparkline(&l_series, 0.0, horizon, 72));
     println!("  B   {}", crate::sparkline(&b_series, 0.0, horizon, 72));
     let rows = multi_series_rows(&[&t_series, &l_series, &b_series], 0.0, horizon, 400);
-    let p = write_csv(name, "t,T_Bps,B_L_Bps,B_Bps", &rows);
+    let p = write_csv(name, "t,T_Bps,B_L_Bps,B_Bps", &rows).map_err(|e| e.to_string())?;
     println!(
         "series: peak T = {:.1} MB/s, max B = {:.1} MB/s, max B_L = {:.1} MB/s, \
          physical PFS peak = {:.1} MB/s{}",
@@ -285,6 +292,7 @@ fn dump_series(out: &RunOutput, name: &str) {
             .unwrap_or_default()
     );
     println!("-> {}", p.display());
+    Ok(())
 }
 
 /// Fig. 8: WaComM 96 ranks without limit.
@@ -295,7 +303,7 @@ pub fn fig08(ctx: &ScenarioCtx) -> Result<(), String> {
     }
     header("fig08", "WaComM 96 ranks, no limit: T and B over time");
     println!("runtime {:.2} s", out.app_time());
-    dump_series(&out, "fig08_series");
+    dump_series(&out, "fig08_series")?;
     Ok(())
 }
 
@@ -307,7 +315,7 @@ pub fn fig09(ctx: &ScenarioCtx) -> Result<(), String> {
     }
     header("fig09", "WaComM 96 ranks, up-only tol=1.1: T follows B_L");
     println!("runtime {:.2} s", out.app_time());
-    dump_series(&out, "fig09_series");
+    dump_series(&out, "fig09_series")?;
     // Check each rank's T tracks that rank's in-effect limit: match every
     // throughput window to the phase of the same rank containing its start.
     let mut track = 0usize;
@@ -351,8 +359,8 @@ pub fn fig10(ctx: &ScenarioCtx) -> Result<(), String> {
         "fig10",
         "WaComM at scale: up-only vs no limit (exploit & runtime)",
     );
-    let uponly = outs.pop().unwrap();
-    let none = outs.pop().unwrap();
+    let uponly = outs.pop().invariant("two strategy runs");
+    let none = outs.pop().invariant("two strategy runs");
     let d_none = none.report.decomposition();
     let d_up = uponly.report.decomposition();
     let e_none = 100.0 * d_none.exploit() / d_none.total.max(1e-12);
@@ -371,8 +379,8 @@ pub fn fig10(ctx: &ScenarioCtx) -> Result<(), String> {
          attributed to I/O-thread resource competition [33] that the paper defers; see\n\
          EXPERIMENTS.md — the exploitation gap above is the reproduced headline)"
     );
-    dump_series(&uponly, "fig10_uponly");
-    dump_series(&none, "fig10_none");
+    dump_series(&uponly, "fig10_uponly")?;
+    dump_series(&none, "fig10_none")?;
     Ok(())
 }
 
@@ -388,7 +396,8 @@ pub fn fig11(ctx: &ScenarioCtx) -> Result<(), String> {
         "HACC-IO time distribution (direct/up-only/adaptive/none, tol=1.1)",
     );
     let csv = print_dist(&rows);
-    let p = write_csv("fig11_hacc_dist", scenarios::DistRow::HEADER, &csv);
+    let p = write_csv("fig11_hacc_dist", scenarios::DistRow::HEADER, &csv)
+        .map_err(|e| e.to_string())?;
     println!("-> {}", p.display());
     Ok(())
 }
@@ -449,7 +458,7 @@ pub fn fig13(ctx: &ScenarioCtx) -> Result<(), String> {
             100.0 * d.exploit() / d.total.max(1e-12),
             100.0 * (d.async_write_lost + d.async_read_lost) / d.total.max(1e-12)
         );
-        dump_series(out, &format!("fig13_{name}"));
+        dump_series(out, &format!("fig13_{name}"))?;
     }
     Ok(())
 }
@@ -467,8 +476,8 @@ pub fn fig14(ctx: &ScenarioCtx) -> Result<(), String> {
         "fig14",
         "HACC-IO direct strategy under PFS capacity noise: waits appear",
     );
-    let clean = outs.pop().unwrap();
-    let noisy = outs.pop().unwrap();
+    let clean = outs.pop().invariant("two noise runs");
+    let noisy = outs.pop().invariant("two noise runs");
     let d_noisy = noisy.report.decomposition();
     let d_clean = clean.report.decomposition();
     println!(
@@ -491,6 +500,6 @@ pub fn fig14(ctx: &ScenarioCtx) -> Result<(), String> {
         "I/O variability makes the limited transfers miss the window (T falls\n\
          outside the green B region of Fig. 14), prolonging the runtime slightly."
     );
-    dump_series(&noisy, "fig14_noisy");
+    dump_series(&noisy, "fig14_noisy")?;
     Ok(())
 }

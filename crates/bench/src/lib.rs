@@ -7,12 +7,16 @@
 //! the same `--list`/`--only <glob>`/`--jobs` frontend. CSV emission is
 //! centralised in [`csv`]; [`par`] bounds the worker pool.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use simcore::{SimTime, StepSeries};
 
 pub mod abl;
 pub mod chaosrun;
 pub mod csv;
 pub mod figs;
+/// Crash-safe sweep manifests (the `--resume` checkpoint layer).
+pub mod manifest;
 pub mod par;
 pub mod registry;
 pub mod scenarios;
@@ -73,7 +77,7 @@ mod tests {
     #[test]
     fn csv_written_to_results() {
         std::env::set_var("IOBTS_RESULTS_DIR", "/tmp/iobts-test-results");
-        let p = write_csv("unit_test", "a,b", &["1,2".into(), "3,4".into()]);
+        let p = write_csv("unit_test", "a,b", &["1,2".into(), "3,4".into()]).unwrap();
         let body = std::fs::read_to_string(&p).unwrap();
         assert_eq!(body.lines().count(), 3);
         assert!(body.starts_with("a,b\n"));

@@ -304,12 +304,26 @@ pub fn print_list(group: &str) {
 }
 
 /// The shared CLI frontend: parses `--list`, `--full`, `--quick`,
-/// `--jobs N`, `--only <glob>` (repeatable) and positional patterns, then
-/// runs the selection. Returns the process exit code.
+/// `--jobs N`, `--resume`, `--only <glob>` (repeatable) and positional
+/// patterns, then runs the selection. Returns the process exit code.
+///
+/// Supervision: each scenario runs under `catch_unwind`, so one panicking
+/// entry is reported and the rest of the sweep still runs. Completion is
+/// checkpointed per entry through [`crate::manifest`]; `--resume` skips
+/// entries already completed under the same `--full`/`--quick` shape and
+/// regenerates byte-identical outputs for the rest. The
+/// `IOBTS_FAIL_AFTER=<n>` hook kills the process (exit 137, as SIGKILL
+/// would) after `n` completed scenarios — the deterministic
+/// mid-sweep-crash used by the kill-and-resume CI smoke test.
 pub fn cli_main(group: &'static str, bin: &str) -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = ScenarioCtx::default();
     let mut patterns: Vec<String> = Vec::new();
+    let mut resume = false;
+    let bad_flag = |msg: &str| {
+        eprintln!("error: {msg}");
+        std::process::ExitCode::FAILURE
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -319,34 +333,36 @@ pub fn cli_main(group: &'static str, bin: &str) -> std::process::ExitCode {
             }
             "--full" => ctx.full = true,
             "--quick" => ctx.quick = true,
+            "--resume" => resume = true,
             "--jobs" => {
-                let n = it
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .expect("--jobs needs a positive integer");
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return bad_flag("--jobs needs a positive integer");
+                };
                 crate::par::set_jobs(n.max(1));
             }
             "--only" => {
-                let g = it.next().expect("--only needs a glob pattern");
+                let Some(g) = it.next() else {
+                    return bad_flag("--only needs a glob pattern");
+                };
                 patterns.push(g.clone());
             }
             "--help" | "-h" => {
                 println!(
                     "usage: {bin} [--list] [--full] [--quick] [--jobs N] \
-                     [--only <glob>]... [pattern]..."
+                     [--resume] [--only <glob>]... [pattern]..."
                 );
                 return std::process::ExitCode::SUCCESS;
             }
             other => {
                 if let Some(v) = other.strip_prefix("--jobs=") {
-                    crate::par::set_jobs(
-                        v.parse::<usize>().expect("--jobs needs an integer").max(1),
-                    );
+                    let Ok(n) = v.parse::<usize>() else {
+                        return bad_flag("--jobs needs an integer");
+                    };
+                    crate::par::set_jobs(n.max(1));
                 } else if let Some(v) = other.strip_prefix("--only=") {
                     patterns.push(v.to_string());
                 } else if other.starts_with("--") {
-                    eprintln!("error: unknown flag `{other}`");
-                    return std::process::ExitCode::FAILURE;
+                    return bad_flag(&format!("unknown flag `{other}`"));
                 } else {
                     patterns.push(other.to_string());
                 }
@@ -362,17 +378,59 @@ pub fn cli_main(group: &'static str, bin: &str) -> std::process::ExitCode {
         }
     };
 
+    if !resume {
+        // Fresh sweep: stale completion markers must not mask re-runs.
+        crate::manifest::clear_group(group);
+    }
+    let fail_after: Option<usize> = std::env::var("IOBTS_FAIL_AFTER")
+        .ok()
+        .and_then(|v| v.trim().parse().ok());
+
     let t0 = std::time::Instant::now();
     let mut failed: Vec<(&str, String)> = Vec::new();
+    let mut skipped = 0usize;
+    let mut completed = 0usize;
     for s in &selection {
-        if let Err(e) = (s.run)(&ctx) {
-            eprintln!("FAILED {}: {e}", s.name);
-            failed.push((s.name, e));
+        if resume && crate::manifest::is_done(group, s.name, &ctx) {
+            eprintln!("SKIP {} (already complete)", s.name);
+            skipped += 1;
+            continue;
+        }
+        // One panicking scenario must not sink the sweep: catch it, report
+        // it as a failure, move on.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (s.run)(&ctx)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|m| (*m).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic with non-string payload".into());
+                Err(format!("panicked: {msg}"))
+            });
+        match outcome {
+            Ok(()) => {
+                // Checkpoint only after the scenario's outputs are final.
+                if let Err(e) = crate::manifest::mark_done(group, s.name, &ctx) {
+                    eprintln!("warning: cannot record completion of {}: {e}", s.name);
+                }
+                completed += 1;
+                if fail_after == Some(completed) {
+                    // Deterministic mid-sweep crash (CI kill-and-resume
+                    // smoke): die like SIGKILL would, without unwinding.
+                    eprintln!("[{bin}: IOBTS_FAIL_AFTER={completed} tripped, aborting]");
+                    std::process::exit(137);
+                }
+            }
+            Err(e) => {
+                eprintln!("FAILED {}: {e}", s.name);
+                failed.push((s.name, e));
+            }
         }
     }
     eprintln!(
-        "\n[{bin}: {} scenario(s), {} failure(s) in {:.1} s]",
+        "\n[{bin}: {} scenario(s), {} skipped, {} failure(s) in {:.1} s]",
         selection.len(),
+        skipped,
         failed.len(),
         t0.elapsed().as_secs_f64()
     );

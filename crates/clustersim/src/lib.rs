@@ -14,10 +14,11 @@
 //! [`pfsim`].
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use pfsim::{Channel, FlowId, FlowSpec, MeterId, Pfs, PfsConfig};
 use serde::{Deserialize, Serialize};
-use simcore::{EventKey, EventQueue, SimTime, StepSeries};
+use simcore::{EventKey, EventQueue, Invariant, SimTime, StepSeries};
 use std::collections::HashMap;
 
 /// Node-allocation policy.
@@ -257,7 +258,7 @@ impl Cluster {
                 .spec
                 .submit
                 .partial_cmp(&jobs[b].spec.submit)
-                .expect("NaN-free")
+                .invariant("NaN-free")
         });
         for i in order {
             queue.schedule(SimTime::from_secs(jobs[i].spec.submit), Event::Arrive(i));
@@ -335,7 +336,7 @@ impl Cluster {
                 .spec
                 .submit
                 .partial_cmp(&self.jobs[b].spec.submit)
-                .expect("NaN-free")
+                .invariant("NaN-free")
         });
         self.wait_queue.append(&mut newly);
         while let Some(&i) = self.wait_queue.first() {
@@ -370,7 +371,7 @@ impl Cluster {
             .filter(|j| j.state == JobState::Running)
             .map(|j| (j.start.as_secs() + j.spec.walltime, j.spec.nodes))
             .collect();
-        ends.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN-free"));
+        ends.sort_by(|a, b| a.0.partial_cmp(&b.0).invariant("NaN-free"));
         let mut free = self.free_nodes;
         let mut reservation = now.as_secs();
         for (end, nodes) in ends {
@@ -511,7 +512,10 @@ impl Cluster {
     }
 
     fn on_flow_done(&mut self, flow: FlowId) {
-        let i = self.flow_job.remove(&flow).expect("flow belongs to a job");
+        let i = self
+            .flow_job
+            .remove(&flow)
+            .invariant("flow belongs to a job");
         if self.jobs[i].inflight == Some(flow) {
             self.jobs[i].inflight = None;
         }

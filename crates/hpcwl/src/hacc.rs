@@ -29,7 +29,6 @@
 
 use mpisim::{FileId, Op, Program, ReqTag};
 use serde::{Deserialize, Serialize};
-
 /// Bytes per HACC particle record: xx,yy,zz,vx,vy,vz,phi (7×f32) +
 /// pid (i64) + mask (u16) = 38 B, matching the original benchmark.
 pub const BYTES_PER_PARTICLE: f64 = 38.0;
@@ -159,6 +158,8 @@ impl HaccConfig {
 /// real bytes: fill the particle arrays from the loop index, serialize,
 /// deserialize, verify — the same cycle the benchmark times.
 pub mod kernel {
+    use simcore::Invariant;
+
     /// One HACC particle record.
     #[derive(Clone, Copy, Debug, PartialEq)]
     pub struct Particle {
@@ -222,7 +223,12 @@ pub mod kernel {
         bytes
             .chunks_exact(38)
             .map(|c| {
-                let f = |o: usize| f32::from_le_bytes(c[o..o + 4].try_into().expect("4 bytes"));
+                let f = |o: usize| {
+                    let b: [u8; 4] = c[o..o + 4].try_into().invariant("4 bytes");
+                    f32::from_le_bytes(b)
+                };
+                let pid_bytes: [u8; 8] = c[28..36].try_into().invariant("8 bytes");
+                let mask_bytes: [u8; 2] = c[36..38].try_into().invariant("2 bytes");
                 Particle {
                     xx: f(0),
                     yy: f(4),
@@ -231,8 +237,8 @@ pub mod kernel {
                     vy: f(16),
                     vz: f(20),
                     phi: f(24),
-                    pid: i64::from_le_bytes(c[28..36].try_into().expect("8 bytes")),
-                    mask: u16::from_le_bytes(c[36..38].try_into().expect("2 bytes")),
+                    pid: i64::from_le_bytes(pid_bytes),
+                    mask: u16::from_le_bytes(mask_bytes),
                 }
             })
             .collect()

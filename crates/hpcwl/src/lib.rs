@@ -14,6 +14,7 @@
 //!   ablations and background jobs.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod hacc;
 pub mod iorlike;

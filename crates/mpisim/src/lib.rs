@@ -17,6 +17,7 @@
 //!   control surface ([`Limits`]) that TMIO plugs into.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod hooks;
 mod ops;
@@ -29,8 +30,8 @@ pub use ops::{FileId, Op, Program, ReqTag};
 pub use pfsim::Channel;
 // Fault-plan vocabulary, re-exported so callers configuring faults don't
 // need a direct simcore dependency.
-pub use simcore::{FaultPlan, IoErrorKind, RetryPolicy};
+pub use simcore::{FaultPlan, IoErrorKind, RetryPolicy, SimError, SimResult, StallSnapshot};
 pub use world::{
-    CapacityNoiseCfg, OpErrorRecord, RankAccounting, RankDriver, RunSummary, ScriptedDriver, World,
-    WorldConfig,
+    CapacityNoiseCfg, OpErrorRecord, RankAccounting, RankDriver, RunSummary, ScriptedDriver,
+    WatchdogCfg, World, WorldConfig,
 };

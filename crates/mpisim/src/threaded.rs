@@ -25,7 +25,7 @@ use crate::hooks::IoHooks;
 use crate::ops::{FileId, Op, ReqTag};
 use crate::world::{RankDriver, RunSummary, World, WorldConfig};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use simcore::{IoErrorKind, SimTime};
+use simcore::{Invariant, IoErrorKind, SimTime};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -78,8 +78,8 @@ impl RankCtx {
     }
 
     fn call(&mut self, op: Op) -> Option<bool> {
-        self.to_engine.send(Msg::Op(op)).expect("engine alive");
-        let ack = self.from_engine.recv().expect("engine alive");
+        self.to_engine.send(Msg::Op(op)).invariant("engine alive");
+        let ack = self.from_engine.recv().invariant("engine alive");
         self.now = ack.now;
         if ack.io_error.is_some() {
             self.last_error = ack.io_error;
@@ -161,7 +161,7 @@ impl RankCtx {
     /// finished. The request stays live — complete it with [`RankCtx::wait`].
     pub fn test(&mut self, req: &Request) -> bool {
         self.call(Op::Test { tag: req.tag })
-            .expect("test returns a status")
+            .invariant("test returns a status")
     }
 
     /// The test-in-a-loop completion pattern: polls every `interval`
@@ -195,11 +195,11 @@ impl RankDriver for ThreadedDriver {
                     test_result,
                     io_error,
                 })
-                .expect("rank thread alive");
+                .invariant("rank thread alive");
         } else {
             self.started[rank] = true;
         }
-        match self.op_rx[rank].recv().expect("rank thread alive") {
+        match self.op_rx[rank].recv().invariant("rank thread alive") {
             Msg::Op(op) => Some(op),
             Msg::Done => None,
         }
@@ -281,14 +281,14 @@ impl<H: IoHooks + Send + 'static> Threaded<H> {
                             last_error: None,
                         };
                         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut ctx))) {
-                            panics.lock().expect("panic list").push(payload);
+                            panics.lock().invariant("panic list").push(payload);
                         }
                         // Report Done even after a panic so the engine sees
                         // the rank finish instead of dying on a closed
                         // channel mid-event.
                         let _ = ctx.to_engine.send(Msg::Done);
                     })
-                    .expect("spawn rank thread"),
+                    .invariant("spawn rank thread"),
             );
         }
         let driver = ThreadedDriver {
@@ -311,7 +311,7 @@ impl<H: IoHooks + Send + 'static> Threaded<H> {
             for h in handles {
                 let _ = h.join();
             }
-            let first = panics.lock().expect("panic list").drain(..).next();
+            let first = panics.lock().invariant("panic list").drain(..).next();
             match (first, run_result) {
                 // Prefer the rank closure's payload over the engine's
                 // secondary deadlock panic.
@@ -325,7 +325,7 @@ impl<H: IoHooks + Send + 'static> Threaded<H> {
         }
         // The engine completed, but a rank may still have panicked (its Done
         // let the run finish): surface the original payload.
-        if let Some(payload) = panics.lock().expect("panic list").drain(..).next() {
+        if let Some(payload) = panics.lock().invariant("panic list").drain(..).next() {
             resume_unwind(payload);
         }
         let summary = run_result.unwrap_or_else(|_| unreachable!("checked above"));

@@ -20,8 +20,8 @@ use crate::hooks::{IoHooks, Limits};
 use crate::ops::{FileId, Op, Program, ReqTag};
 use pfsim::{BurstBuffer, BurstBufferConfig, Channel, FlowId, FlowSpec, Pfs, PfsConfig};
 use simcore::{
-    rank_phase_stream, stream_rng, EventKey, EventQueue, FaultPlan, IoErrorKind, Noise, SimTime,
-    StepSeries,
+    rank_phase_stream, stream_rng, EventKey, EventQueue, FaultPlan, Invariant, IoErrorKind, Noise,
+    SimError, SimResult, SimTime, StallSnapshot, StepSeries,
 };
 use std::collections::HashMap;
 
@@ -71,6 +71,45 @@ pub struct WorldConfig {
     /// Seeded fault schedule replayed against the run. The default (empty)
     /// plan reproduces the fault-free run bit-for-bit.
     pub faults: FaultPlan,
+    /// Progress-watchdog thresholds (see [`WatchdogCfg`]). The defaults are
+    /// generous enough that no legitimate scenario trips them; a supervised
+    /// run that does trip fails with a [`simcore::StallSnapshot`] instead of
+    /// spinning forever.
+    pub watchdog: WatchdogCfg,
+}
+
+/// Thresholds of the virtual-time progress watchdog in [`World::try_run`].
+///
+/// *Progress* is narrowly defined: bytes completing on the PFS, an I/O
+/// request finishing (or failing), a collective releasing, or a rank
+/// retiring a fresh program op. Pure event traffic — poll probes on a
+/// frozen request, capacity ticks during an endless outage — does **not**
+/// count, so a run whose event loop is alive but whose application can
+/// never advance is detected and failed with a diagnostic snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WatchdogCfg {
+    /// Maximum events processed without progress before the run is failed.
+    /// Bounds live-lock cycles (e.g. a `PollWait` probing a request whose
+    /// channel is under a never-ending outage).
+    pub max_futile_events: u64,
+    /// Maximum *virtual* seconds without progress before the run is failed.
+    /// Infinite by default: long fault windows legitimately freeze I/O for
+    /// a long stretch of virtual time while other ranks stay blocked.
+    pub max_stall: f64,
+}
+
+impl Default for WatchdogCfg {
+    fn default() -> Self {
+        WatchdogCfg {
+            // The busiest legitimate no-progress stretches observed in the
+            // paper sweeps are a few hundred events (all ranks blocked on
+            // I/O across a fault edge); one million leaves three orders of
+            // magnitude of headroom while still failing a live-locked run
+            // within wall-clock milliseconds.
+            max_futile_events: 1_000_000,
+            max_stall: f64::INFINITY,
+        }
+    }
 }
 
 /// Periodic multiplicative noise on PFS capacity.
@@ -101,7 +140,73 @@ impl WorldConfig {
             limit_sync_ops: true,
             record_pfs: true,
             faults: FaultPlan::default(),
+            watchdog: WatchdogCfg::default(),
         }
+    }
+
+    /// Rejects configurations the engine cannot execute: NaN, zero or
+    /// negative capacities and sizes, bad noise periods, and invalid fault
+    /// plans. [`World::new`] asserts the load-bearing subset; supervised
+    /// paths call this first so misconfiguration surfaces as a typed
+    /// [`SimError`] instead of a panic.
+    pub fn validate(&self) -> SimResult<()> {
+        fn pos(field: &str, v: f64) -> SimResult<()> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(SimError::invalid_config(
+                    field,
+                    format!("must be finite and positive, got {v}"),
+                ))
+            }
+        }
+        if self.n_ranks == 0 {
+            return Err(SimError::invalid_config(
+                "n_ranks",
+                "need at least one rank",
+            ));
+        }
+        pos("subreq_bytes", self.subreq_bytes)?;
+        pos("pfs.write_capacity", self.pfs.write_capacity)?;
+        pos("pfs.read_capacity", self.pfs.read_capacity)?;
+        pos("net_bandwidth", self.net_bandwidth)?;
+        pos("memcpy_bandwidth", self.memcpy_bandwidth)?;
+        if !self.net_latency.is_finite() || self.net_latency < 0.0 {
+            return Err(SimError::invalid_config(
+                "net_latency",
+                format!("must be finite and >= 0, got {}", self.net_latency),
+            ));
+        }
+        if !self.interference_alpha.is_finite() || self.interference_alpha < 0.0 {
+            return Err(SimError::invalid_config(
+                "interference_alpha",
+                format!("must be finite and >= 0, got {}", self.interference_alpha),
+            ));
+        }
+        if let Some(cn) = self.capacity_noise {
+            pos("capacity_noise.period", cn.period)?;
+        }
+        if let Some(bb) = self.burst_buffer {
+            pos("burst_buffer.size_bytes", bb.size_bytes)?;
+            pos("burst_buffer.absorb_rate", bb.absorb_rate)?;
+            pos("burst_buffer.drain_rate", bb.drain_rate)?;
+        }
+        if self.watchdog.max_futile_events == 0 {
+            return Err(SimError::invalid_config(
+                "watchdog.max_futile_events",
+                "must be at least 1",
+            ));
+        }
+        if self.watchdog.max_stall.is_nan() || self.watchdog.max_stall <= 0.0 {
+            return Err(SimError::invalid_config(
+                "watchdog.max_stall",
+                format!(
+                    "must be positive (or infinite), got {}",
+                    self.watchdog.max_stall
+                ),
+            ));
+        }
+        self.faults.validate()
     }
 
     /// Enables the bandwidth limiter (builder style).
@@ -125,6 +230,12 @@ impl WorldConfig {
     /// Sets the fault plan (builder style).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the progress-watchdog thresholds (builder style).
+    pub fn with_watchdog(mut self, watchdog: WatchdogCfg) -> Self {
+        self.watchdog = watchdog;
         self
     }
 }
@@ -386,6 +497,12 @@ pub struct World<H: IoHooks> {
     cap_tick: u64,
     cap_rng: rand::rngs::SmallRng,
     op_errors: Vec<OpErrorRecord>,
+    /// Virtual time of the last observed progress (watchdog).
+    last_advance: SimTime,
+    /// Events processed since the last observed progress (watchdog).
+    futile_events: u64,
+    /// First fatal error raised mid-event; [`World::try_run`] surfaces it.
+    fatal: Option<SimError>,
 }
 
 impl<H: IoHooks> World<H> {
@@ -428,6 +545,9 @@ impl<H: IoHooks> World<H> {
             cap_tick: 0,
             cap_rng,
             op_errors: Vec::new(),
+            last_advance: SimTime::ZERO,
+            futile_events: 0,
+            fatal: None,
         }
     }
 
@@ -451,17 +571,17 @@ impl<H: IoHooks> World<H> {
 
     /// Access to the observer (e.g. to pull TMIO's report after `run`).
     pub fn hooks(&self) -> &H {
-        self.hooks.as_ref().expect("hooks present")
+        self.hooks.as_ref().invariant("hooks present")
     }
 
     /// Mutable access to the observer.
     pub fn hooks_mut(&mut self) -> &mut H {
-        self.hooks.as_mut().expect("hooks present")
+        self.hooks.as_mut().invariant("hooks present")
     }
 
     /// Consumes the world, returning the observer and its recordings.
     pub fn into_hooks(self) -> H {
-        self.hooks.expect("hooks present")
+        self.hooks.invariant("hooks present")
     }
 
     /// The PFS rate series of a channel (for plots).
@@ -481,21 +601,43 @@ impl<H: IoHooks> World<H> {
 
     /// Runs the world to completion and returns the summary.
     ///
-    /// Panics on deadlock (ranks blocked with no pending events), which
-    /// indicates an invalid program (e.g. mismatched collectives).
+    /// Panics on any [`SimError`] ([`World::try_run`] is the supervised,
+    /// non-panicking path): a deadlock (ranks blocked with no pending
+    /// events), a tripped progress watchdog, or an invalid program (e.g.
+    /// mismatched collectives).
     pub fn run(&mut self) -> RunSummary {
+        match self.try_run() {
+            Ok(summary) => summary,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the world to completion, surfacing failures as typed errors.
+    ///
+    /// Detects and reports, with a [`StallSnapshot`] of everything still
+    /// pending: deadlock (the event queue drained with ranks blocked —
+    /// mismatched collectives, or a `Wait` whose request is frozen by a
+    /// never-ending outage) and live-lock (the watchdog counted
+    /// [`WatchdogCfg::max_futile_events`] events without any rank, request
+    /// or collective advancing). Driver-issued impossible ops (wait on an
+    /// unknown request, collective mismatch) surface as
+    /// [`SimError::InvalidProgram`].
+    pub fn try_run(&mut self) -> SimResult<RunSummary> {
         if let Some(cn) = self.cfg.capacity_noise {
             self.queue.schedule_in(cn.period, Event::CapacityTick(0));
         }
         // Channel-fault windows: recompute the effective capacity factor at
         // every window edge. An inert plan schedules nothing, keeping the
-        // fault-free event order untouched.
+        // fault-free event order untouched. Non-finite edges are skipped —
+        // a window that never ends simply never schedules its closing edge
+        // (the watchdog or deadlock detection reports the stall).
         let mut edges: Vec<f64> = Vec::new();
         for w in self.cfg.faults.active_channel_faults() {
             edges.push(w.start.max(0.0));
             edges.push(w.end);
         }
-        edges.sort_by(|a, b| a.partial_cmp(b).expect("NaN-free"));
+        edges.retain(|e| e.is_finite());
+        edges.sort_by(f64::total_cmp);
         edges.dedup();
         for e in edges {
             self.queue.schedule(SimTime::from_secs(e), Event::FaultEdge);
@@ -507,25 +649,28 @@ impl<H: IoHooks> World<H> {
             }
         }
         while self.live_ranks > 0 {
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
             let Some((t, ev)) = self.queue.pop() else {
-                let blocked: Vec<usize> = self
-                    .ranks
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| r.status != Status::Done)
-                    .map(|(i, _)| i)
-                    .collect();
-                panic!(
-                    "deadlock: no events pending but ranks {blocked:?} are not done \
-                     (mismatched collectives or waits?)"
-                );
+                return Err(SimError::Deadlock(self.stall_snapshot()));
             };
             self.handle(t, ev);
+            self.futile_events += 1;
+            let wd = self.cfg.watchdog;
+            if self.futile_events > wd.max_futile_events
+                || self.queue.now() - self.last_advance > wd.max_stall
+            {
+                return Err(SimError::Stalled(self.stall_snapshot()));
+            }
+        }
+        if let Some(e) = self.fatal.take() {
+            return Err(e);
         }
         let finished_at: Vec<SimTime> = self
             .ranks
             .iter()
-            .map(|r| r.finished_at.expect("rank finished"))
+            .map(|r| r.finished_at.invariant("rank finished"))
             .collect();
         let end_time = finished_at
             .iter()
@@ -533,12 +678,57 @@ impl<H: IoHooks> World<H> {
             .fold(SimTime::ZERO, SimTime::max);
         // Close the PFS series at the end of the run.
         self.drain_pfs();
-        RunSummary {
+        Ok(RunSummary {
             end_time,
             accounting: self.ranks.iter().map(|r| r.acct).collect(),
             finished_at,
             op_errors: std::mem::take(&mut self.op_errors),
+        })
+    }
+
+    /// Records a fatal error; the first one wins and aborts [`try_run`].
+    fn fail_run(&mut self, e: SimError) {
+        if self.fatal.is_none() {
+            self.fatal = Some(e);
         }
+    }
+
+    /// Marks watchdog-visible progress: bytes moved, an op retired, a rank
+    /// finished, a collective released.
+    fn note_progress(&mut self) {
+        self.last_advance = self.queue.now();
+        self.futile_events = 0;
+    }
+
+    /// The diagnostic snapshot attached to stall/deadlock errors: blocked
+    /// ranks, in-flight I/O tasks, queue depth and last-advance time.
+    fn stall_snapshot(&self) -> Box<StallSnapshot> {
+        let blocked_ranks: Vec<String> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.status != Status::Done)
+            .map(|(i, r)| format!("rank {i}: {:?}", r.status))
+            .collect();
+        let mut tasks: Vec<(&TaskId, &IoTask)> = self.tasks.iter().collect();
+        tasks.sort_by_key(|(id, _)| id.0);
+        let pending_ops: Vec<String> = tasks
+            .into_iter()
+            .map(|(id, t)| {
+                format!(
+                    "task {}: rank {} {:?} {:.0} B left, tag {:?}, {} attempt(s)",
+                    id.0, t.rank, t.channel, t.bytes_left, t.tag, t.attempts
+                )
+            })
+            .collect();
+        Box::new(StallSnapshot {
+            at: self.queue.now().as_secs(),
+            last_advance: self.last_advance.as_secs(),
+            futile_events: self.futile_events,
+            queue_depth: self.queue.len(),
+            blocked_ranks,
+            pending_ops,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -564,7 +754,7 @@ impl<H: IoHooks> World<H> {
                 self.resync_pfs();
             }
             Event::BbDone(id) => {
-                let task = self.tasks.remove(&id).expect("bb task exists");
+                let task = self.tasks.remove(&id).invariant("bb task exists");
                 let now = self.queue.now();
                 if task.cancelled {
                     self.fail_task(now, id, task, IoErrorKind::Cancelled);
@@ -576,7 +766,8 @@ impl<H: IoHooks> World<H> {
                 self.start_coll_io(id);
             }
             Event::CollectiveRelease(id) => {
-                let coll = self.collectives.remove(&id).expect("collective exists");
+                self.note_progress();
+                let coll = self.collectives.remove(&id).invariant("collective exists");
                 debug_assert_eq!(coll.arrived, self.cfg.n_ranks);
                 for rank in 0..self.cfg.n_ranks {
                     if self.ranks[rank].status == Status::Blocked(BlockKind::Collective(id)) {
@@ -591,7 +782,7 @@ impl<H: IoHooks> World<H> {
                                     }
                                     Channel::Read => self.ranks[rank].acct.sync_read += t - entered,
                                 }
-                                let mut hooks = self.hooks.take().expect("hooks");
+                                let mut hooks = self.hooks.take().invariant("hooks");
                                 let o =
                                     hooks.on_sync_end(t, rank, bytes, channel, &mut self.limits);
                                 self.hooks = Some(hooks);
@@ -605,7 +796,7 @@ impl<H: IoHooks> World<H> {
                 }
             }
             Event::CapacityTick(i) => {
-                let cn = self.cfg.capacity_noise.expect("configured");
+                let cn = self.cfg.capacity_noise.invariant("configured");
                 // One factor for both channels: congestion from a competing
                 // job hits the whole file system, not one direction.
                 let f = cn.noise.factor(&mut self.cap_rng);
@@ -647,10 +838,11 @@ impl<H: IoHooks> World<H> {
             }
             iters += 1;
             if iters > 10_000 {
-                panic!(
+                self.fail_run(SimError::Internal(format!(
                     "drain_pfs livelock at {now:?}: {} completions pending",
                     done.len()
-                );
+                )));
+                return;
             }
             for (ct, flow) in done {
                 self.on_flow_complete(ct, flow);
@@ -676,18 +868,28 @@ impl<H: IoHooks> World<H> {
     /// Executes ops for `rank` until it blocks or finishes.
     fn step_rank(&mut self, rank: usize) {
         loop {
+            if self.fatal.is_some() {
+                return; // the run is being aborted; stop interpreting
+            }
             debug_assert_eq!(self.ranks[rank].status, Status::Runnable);
             let now = self.queue.now();
             let repeat = self.ranks[rank].pending_repeat.take();
+            let fresh = repeat.is_none();
             let Some(op) = repeat.or_else(|| self.driver.next_op(rank, now)) else {
                 self.ranks[rank].status = Status::Done;
                 self.ranks[rank].finished_at = Some(now);
                 self.live_ranks -= 1;
-                let mut hooks = self.hooks.take().expect("hooks");
+                self.note_progress();
+                let mut hooks = self.hooks.take().invariant("hooks");
                 hooks.on_rank_done(now, rank);
                 self.hooks = Some(hooks);
                 return;
             };
+            if fresh {
+                // The driver handed out a new program op: the application is
+                // advancing. A `PollWait` re-probe (pending_repeat) is not.
+                self.note_progress();
+            }
             if self.exec_op(rank, op) {
                 return; // blocked
             }
@@ -740,15 +942,15 @@ impl<H: IoHooks> World<H> {
     /// `PollWait` still completes it.
     fn exec_test(&mut self, rank: usize, tag: ReqTag) -> bool {
         let now = self.queue.now();
-        let done = matches!(
-            self.ranks[rank].requests.get(&tag),
-            Some(ReqState::Completed | ReqState::Failed(_))
-        );
-        assert!(
-            self.ranks[rank].requests.contains_key(&tag),
-            "rank {rank}: test on unknown request {tag:?}"
-        );
-        let mut hooks = self.hooks.take().expect("hooks");
+        let Some(state) = self.ranks[rank].requests.get(&tag) else {
+            self.fail_run(SimError::invalid_program(
+                rank,
+                format!("test on unknown request {tag:?}"),
+            ));
+            return true;
+        };
+        let done = matches!(state, ReqState::Completed | ReqState::Failed(_));
+        let mut hooks = self.hooks.take().invariant("hooks");
         let o = hooks.on_test(now, rank, tag, done, &mut self.limits);
         self.hooks = Some(hooks);
         self.driver.on_test_result(rank, done);
@@ -761,24 +963,33 @@ impl<H: IoHooks> World<H> {
     /// available window (the application wanted the data *now*), so the
     /// wait-enter hook fires there; polling time is accounted as lost time.
     fn exec_poll_wait(&mut self, rank: usize, tag: ReqTag, interval: f64) -> bool {
-        assert!(interval > 0.0, "poll interval must be positive");
+        if !(interval > 0.0 && interval.is_finite()) {
+            self.fail_run(SimError::invalid_program(
+                rank,
+                format!("poll interval must be finite and positive, got {interval}"),
+            ));
+            return true;
+        }
         let now = self.queue.now();
-        let state = *self.ranks[rank]
-            .requests
-            .get(&tag)
-            .unwrap_or_else(|| panic!("rank {rank}: poll-wait on unknown request {tag:?}"));
+        let Some(&state) = self.ranks[rank].requests.get(&tag) else {
+            self.fail_run(SimError::invalid_program(
+                rank,
+                format!("poll-wait on unknown request {tag:?}"),
+            ));
+            return true;
+        };
         let done = state != ReqState::InFlight;
         let first = self.ranks[rank].polling != Some(tag);
         let mut overhead = 0.0;
         if first {
             self.ranks[rank].polling = Some(tag);
             self.ranks[rank].wait_entered = now;
-            let mut hooks = self.hooks.take().expect("hooks");
+            let mut hooks = self.hooks.take().invariant("hooks");
             overhead += hooks.on_wait_enter(now, rank, tag, done, &mut self.limits);
             self.hooks = Some(hooks);
         }
         if done {
-            let mut hooks = self.hooks.take().expect("hooks");
+            let mut hooks = self.hooks.take().invariant("hooks");
             overhead += hooks.on_wait_exit(now, rank, tag, &mut self.limits);
             self.hooks = Some(hooks);
             let entered = self.ranks[rank].wait_entered;
@@ -794,7 +1005,7 @@ impl<H: IoHooks> World<H> {
             self.ranks[rank].acct.overhead += overhead;
             self.block_for(rank, overhead, BlockKind::Overhead)
         } else {
-            let mut hooks = self.hooks.take().expect("hooks");
+            let mut hooks = self.hooks.take().invariant("hooks");
             overhead += hooks.on_test(now, rank, tag, false, &mut self.limits);
             self.hooks = Some(hooks);
             self.ranks[rank].acct.overhead += overhead;
@@ -822,15 +1033,23 @@ impl<H: IoHooks> World<H> {
             .collectives
             .entry(id)
             .or_insert(Collective { kind, arrived: 0 });
-        assert_eq!(
-            coll.kind, kind,
-            "collective mismatch at sequence {id}: ranks disagree on the op"
-        );
+        if coll.kind != kind {
+            let existing = coll.kind;
+            self.fail_run(SimError::invalid_program(
+                rank,
+                format!(
+                    "collective mismatch at sequence {id}: \
+                     ranks disagree on the op ({existing:?} vs {kind:?})"
+                ),
+            ));
+            return true;
+        }
         coll.arrived += 1;
+        let arrived = coll.arrived;
         let now = self.queue.now();
         self.ranks[rank].wait_entered = now;
         self.ranks[rank].status = Status::Blocked(BlockKind::Collective(id));
-        if coll.arrived == n {
+        if arrived == n {
             let levels = (n as f64).log2().ceil().max(1.0);
             match kind {
                 CollKind::Barrier => {
@@ -856,7 +1075,7 @@ impl<H: IoHooks> World<H> {
     /// Collective I/O entry: hooks see it as a blocking call on every rank.
     fn exec_coll_io(&mut self, rank: usize, file: FileId, bytes: f64, channel: Channel) -> bool {
         let now = self.queue.now();
-        let mut hooks = self.hooks.take().expect("hooks");
+        let mut hooks = self.hooks.take().invariant("hooks");
         let o = hooks.on_sync_begin(now, rank, bytes, channel, &mut self.limits);
         self.hooks = Some(hooks);
         self.ranks[rank].acct.overhead += o;
@@ -870,7 +1089,7 @@ impl<H: IoHooks> World<H> {
     /// The shuffle phase of a collective I/O finished: ⌈√n⌉ aggregators
     /// issue their merged transfers.
     fn start_coll_io(&mut self, id: u64) {
-        let coll = self.collectives.get(&id).expect("collective exists");
+        let coll = self.collectives.get(&id).invariant("collective exists");
         let CollKind::CollIo(channel, bytes) = coll.kind else {
             panic!("CollIoStart on a non-I/O collective");
         };
@@ -900,7 +1119,7 @@ impl<H: IoHooks> World<H> {
 
     fn exec_sync_io(&mut self, rank: usize, file: FileId, bytes: f64, channel: Channel) -> bool {
         let now = self.queue.now();
-        let mut hooks = self.hooks.take().expect("hooks");
+        let mut hooks = self.hooks.take().invariant("hooks");
         let o = hooks.on_sync_begin(now, rank, bytes, channel, &mut self.limits);
         self.hooks = Some(hooks);
         self.ranks[rank].acct.overhead += o;
@@ -927,10 +1146,13 @@ impl<H: IoHooks> World<H> {
         let now = self.queue.now();
         let done = self.bbs[rank].absorb(now.as_secs(), bytes);
         // Mark the task as fully transferred from the application's view.
-        self.tasks.get_mut(&task).expect("task exists").bytes_left = 0.0;
+        self.tasks
+            .get_mut(&task)
+            .invariant("task exists")
+            .bytes_left = 0.0;
         self.queue
             .schedule(SimTime::from_secs(done).max(now), Event::BbDone(task));
-        let drain_rate = self.cfg.burst_buffer.expect("configured").drain_rate;
+        let drain_rate = self.cfg.burst_buffer.invariant("configured").drain_rate;
         let cap = match self.limits.effective(rank) {
             Some(l) => drain_rate.min(l),
             None => drain_rate,
@@ -958,11 +1180,14 @@ impl<H: IoHooks> World<H> {
         channel: Channel,
     ) -> bool {
         let now = self.queue.now();
-        assert!(
-            !self.ranks[rank].requests.contains_key(&tag),
-            "rank {rank}: request tag {tag:?} already outstanding"
-        );
-        let mut hooks = self.hooks.take().expect("hooks");
+        if self.ranks[rank].requests.contains_key(&tag) {
+            self.fail_run(SimError::invalid_program(
+                rank,
+                format!("request tag {tag:?} already outstanding"),
+            ));
+            return true;
+        }
+        let mut hooks = self.hooks.take().invariant("hooks");
         let o = hooks.on_async_submit(now, rank, tag, bytes, channel, &mut self.limits);
         self.hooks = Some(hooks);
         self.ranks[rank].acct.overhead += o;
@@ -975,7 +1200,7 @@ impl<H: IoHooks> World<H> {
         self.ranks[rank].async_seq += 1;
         let task = self.new_task(rank, Some(tag), bytes, channel);
         if self.cfg.faults.cancels(rank, seq) {
-            self.tasks.get_mut(&task).expect("task exists").cancelled = true;
+            self.tasks.get_mut(&task).invariant("task exists").cancelled = true;
         }
         if channel == Channel::Write && self.cfg.burst_buffer.is_some() {
             self.start_bb_write(task, rank, bytes);
@@ -989,12 +1214,15 @@ impl<H: IoHooks> World<H> {
 
     fn exec_wait(&mut self, rank: usize, tag: ReqTag) -> bool {
         let now = self.queue.now();
-        let state = *self.ranks[rank]
-            .requests
-            .get(&tag)
-            .unwrap_or_else(|| panic!("rank {rank}: wait on unknown request {tag:?}"));
+        let Some(&state) = self.ranks[rank].requests.get(&tag) else {
+            self.fail_run(SimError::invalid_program(
+                rank,
+                format!("wait on unknown request {tag:?}"),
+            ));
+            return true;
+        };
         let already_done = state != ReqState::InFlight;
-        let mut hooks = self.hooks.take().expect("hooks");
+        let mut hooks = self.hooks.take().invariant("hooks");
         let mut o = hooks.on_wait_enter(now, rank, tag, already_done, &mut self.limits);
         if already_done {
             o += hooks.on_wait_exit(now, rank, tag, &mut self.limits);
@@ -1055,17 +1283,17 @@ impl<H: IoHooks> World<H> {
     /// after a trailing pacing sleep).
     fn start_subrequest(&mut self, id: TaskId) {
         {
-            let task = self.tasks.get(&id).expect("task exists");
+            let task = self.tasks.get(&id).invariant("task exists");
             if task.bytes_left <= 1e-6 {
                 let ct = self.queue.now();
-                let task = self.tasks.remove(&id).expect("task exists");
+                let task = self.tasks.remove(&id).invariant("task exists");
                 self.finish_task(ct, id, task);
                 return;
             }
         }
         self.drain_pfs();
         let now = self.queue.now();
-        let task = self.tasks.get_mut(&id).expect("task exists");
+        let task = self.tasks.get_mut(&id).invariant("task exists");
         let size = task.bytes_left.min(self.cfg.subreq_bytes).max(0.0);
         task.subreq_bytes = size;
         task.subreq_started = now;
@@ -1080,11 +1308,13 @@ impl<H: IoHooks> World<H> {
     /// finishing its schedule, so the achieved throughput converges to the
     /// limit (Sec. V).
     fn on_flow_complete(&mut self, ct: SimTime, flow: FlowId) {
+        // Bytes landed on the PFS: the run is advancing.
+        self.note_progress();
         if self.background_flows.remove(&flow) {
             return; // a burst-buffer drain finished; nobody waits on it
         }
         if let Some(id) = self.coll_flows.remove(&flow) {
-            let left = self.coll_pending.get_mut(&id).expect("pending count");
+            let left = self.coll_pending.get_mut(&id).invariant("pending count");
             *left -= 1;
             if *left == 0 {
                 self.coll_pending.remove(&id);
@@ -1097,12 +1327,12 @@ impl<H: IoHooks> World<H> {
         let id = self
             .flow_task
             .remove(&flow)
-            .expect("flow belongs to a task");
+            .invariant("flow belongs to a task");
         if self.apply_io_fault(ct, id) {
             return; // the sub-request failed; its bytes are discarded
         }
         let (rank, finished, subreq_bytes, subreq_started) = {
-            let task = self.tasks.get_mut(&id).expect("task exists");
+            let task = self.tasks.get_mut(&id).invariant("task exists");
             task.bytes_left -= task.subreq_bytes;
             (
                 task.rank,
@@ -1115,7 +1345,7 @@ impl<H: IoHooks> World<H> {
         // more this transfer perturbed the rank's compute threads.
         if self.cfg.interference_alpha > 0.0 {
             let channel = {
-                let task = self.tasks.get(&id).expect("task exists");
+                let task = self.tasks.get(&id).invariant("task exists");
                 task.channel
             };
             let capacity = match channel {
@@ -1128,7 +1358,7 @@ impl<H: IoHooks> World<H> {
                 * (subreq_bytes / capacity.max(1.0));
         }
         // Pacing: compare achieved vs required sub-request time (Sec. V).
-        let is_sync = self.tasks.get(&id).expect("task exists").tag.is_none();
+        let is_sync = self.tasks.get(&id).invariant("task exists").tag.is_none();
         let limit = if is_sync && !self.cfg.limit_sync_ops {
             None
         } else {
@@ -1136,7 +1366,7 @@ impl<H: IoHooks> World<H> {
         };
         let mut delay = 0.0;
         if let Some(limit) = limit {
-            let task = self.tasks.get_mut(&id).expect("task exists");
+            let task = self.tasks.get_mut(&id).invariant("task exists");
             let actual = ct - subreq_started;
             let required = subreq_bytes / limit;
             if actual < required {
@@ -1155,7 +1385,7 @@ impl<H: IoHooks> World<H> {
             let resume_at = ct.max(self.queue.now()).after(delay);
             self.queue.schedule(resume_at, Event::IoTaskNext(id));
         } else if finished {
-            let task = self.tasks.remove(&id).expect("task exists");
+            let task = self.tasks.remove(&id).invariant("task exists");
             self.finish_task(ct, id, task);
         } else {
             self.start_subrequest(id);
@@ -1170,7 +1400,7 @@ impl<H: IoHooks> World<H> {
     /// transferred bytes are discarded.
     fn apply_io_fault(&mut self, ct: SimTime, id: TaskId) -> bool {
         let (cancelled, drawn) = {
-            let task = self.tasks.get_mut(&id).expect("task exists");
+            let task = self.tasks.get_mut(&id).invariant("task exists");
             if task.cancelled {
                 (true, None)
             } else {
@@ -1182,21 +1412,21 @@ impl<H: IoHooks> World<H> {
             }
         };
         if cancelled {
-            let task = self.tasks.remove(&id).expect("task exists");
+            let task = self.tasks.remove(&id).invariant("task exists");
             self.fail_task(ct, id, task, IoErrorKind::Cancelled);
             return true;
         }
         let Some(kind) = drawn else {
-            self.tasks.get_mut(&id).expect("task exists").attempts = 0;
+            self.tasks.get_mut(&id).invariant("task exists").attempts = 0;
             return false;
         };
         let (rank, tag, attempts) = {
-            let task = self.tasks.get_mut(&id).expect("task exists");
+            let task = self.tasks.get_mut(&id).invariant("task exists");
             task.attempts += 1;
             (task.rank, task.tag, task.attempts)
         };
         if attempts > self.cfg.faults.retry.max_retries {
-            let task = self.tasks.remove(&id).expect("task exists");
+            let task = self.tasks.remove(&id).invariant("task exists");
             self.fail_task(ct, id, task, kind);
             return true;
         }
@@ -1204,7 +1434,7 @@ impl<H: IoHooks> World<H> {
         // (IoTaskNext re-reads the limit and restarts pacing cleanly).
         let backoff = self.cfg.faults.retry.backoff(attempts - 1);
         self.ranks[rank].acct.retry += backoff;
-        let mut hooks = self.hooks.take().expect("hooks");
+        let mut hooks = self.hooks.take().invariant("hooks");
         hooks.on_io_retry(ct, rank, tag, kind, attempts, backoff);
         self.hooks = Some(hooks);
         let resume_at = ct.max(self.queue.now()).after(backoff);
@@ -1225,7 +1455,7 @@ impl<H: IoHooks> World<H> {
             at: at.as_secs(),
             attempts: task.attempts,
         });
-        let mut hooks = self.hooks.take().expect("hooks");
+        let mut hooks = self.hooks.take().invariant("hooks");
         hooks.on_op_error(at, task.rank, task.tag, kind, task.attempts);
         self.hooks = Some(hooks);
         self.driver.on_op_error(task.rank, kind);
@@ -1243,6 +1473,7 @@ impl<H: IoHooks> World<H> {
     /// either way — the tool's transfer span closes when the I/O thread
     /// stops working on the request.
     fn complete_task(&mut self, ct: SimTime, id: TaskId, task: IoTask, error: Option<IoErrorKind>) {
+        self.note_progress();
         let now = self.queue.now();
         let rank = task.rank;
         let status = self.ranks[rank].status;
@@ -1253,11 +1484,11 @@ impl<H: IoHooks> World<H> {
                 *self.ranks[rank]
                     .requests
                     .get_mut(&tag)
-                    .expect("request registered") = match error {
+                    .invariant("request registered") = match error {
                     None => ReqState::Completed,
                     Some(kind) => ReqState::Failed(kind),
                 };
-                let mut hooks = self.hooks.take().expect("hooks");
+                let mut hooks = self.hooks.take().invariant("hooks");
                 hooks.on_request_complete(ct, rank, tag);
                 self.hooks = Some(hooks);
                 if status == Status::Blocked(BlockKind::Wait(tag)) {
@@ -1268,7 +1499,7 @@ impl<H: IoHooks> World<H> {
                         Channel::Write => self.ranks[rank].acct.wait_write += lost,
                         Channel::Read => self.ranks[rank].acct.wait_read += lost,
                     }
-                    let mut hooks = self.hooks.take().expect("hooks");
+                    let mut hooks = self.hooks.take().invariant("hooks");
                     let o = hooks.on_wait_exit(release_at, rank, tag, &mut self.limits);
                     self.hooks = Some(hooks);
                     self.ranks[rank].acct.overhead += o;
@@ -1290,7 +1521,7 @@ impl<H: IoHooks> World<H> {
                     Channel::Write => self.ranks[rank].acct.sync_write += dur,
                     Channel::Read => self.ranks[rank].acct.sync_read += dur,
                 }
-                let mut hooks = self.hooks.take().expect("hooks");
+                let mut hooks = self.hooks.take().invariant("hooks");
                 let o = hooks.on_sync_end(release_at, rank, bytes, task.channel, &mut self.limits);
                 self.hooks = Some(hooks);
                 self.ranks[rank].acct.overhead += o;

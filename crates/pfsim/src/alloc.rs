@@ -12,6 +12,8 @@
 //! below their fair share are granted their cap, the rest split the residual
 //! in proportion to their weights.
 
+use simcore::Invariant;
+
 /// One allocation request: `count` identical flows, each with weight `weight`
 /// and optional per-flow cap `cap` (bytes/s).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -110,7 +112,7 @@ pub fn water_fill_into(
     order.sort_by(|&a, &b| {
         breakpoint(&demands[a])
             .partial_cmp(&breakpoint(&demands[b]))
-            .expect("NaN-free")
+            .invariant("NaN-free")
     });
 
     // Walk breakpoints from the smallest: entries whose breakpoint is below

@@ -16,6 +16,7 @@
 //!   tier (the paper's future-work extension for synchronous I/O).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod alloc;
 pub mod burstbuffer;

@@ -1,9 +1,9 @@
 //! The experiment configuration: the knobs the paper varies, plus the
 //! builder surface every frontend constructs it through.
 
-use mpisim::WorldConfig;
+use mpisim::{WatchdogCfg, WorldConfig};
 use pfsim::PfsConfig;
-use simcore::{FaultPlan, Noise};
+use simcore::{FaultPlan, Noise, SimError, SimResult};
 use tmio::{Strategy, TracerConfig};
 
 /// Common experiment configuration (the knobs the paper varies).
@@ -46,6 +46,10 @@ pub struct ExpConfig {
     /// Seeded fault schedule (the chaos harness); the default empty plan
     /// reproduces the fault-free run bit-for-bit.
     pub faults: FaultPlan,
+    /// Progress-watchdog thresholds for the run (see
+    /// [`mpisim::WatchdogCfg`]). The defaults never trip on legitimate
+    /// scenarios; tighten them in chaos runs to fail stalls fast.
+    pub watchdog: WatchdogCfg,
 }
 
 impl ExpConfig {
@@ -70,7 +74,59 @@ impl ExpConfig {
             record_pfs: true,
             peri_call_overhead: None,
             faults: FaultPlan::default(),
+            watchdog: WatchdogCfg::default(),
         }
+    }
+
+    /// Rejects configurations the pipeline cannot execute — NaN, zero or
+    /// negative capacities, tolerances and sub-request sizes, bad overhead
+    /// overrides, and invalid fault plans (overlapping windows, bad
+    /// probabilities) — as typed [`SimError::InvalidConfig`] values.
+    /// [`crate::SessionBuilder::build`] calls this, so misconfiguration
+    /// surfaces before any run starts.
+    pub fn validate(&self) -> SimResult<()> {
+        fn tol(field: &str, v: f64) -> SimResult<()> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(SimError::invalid_config(
+                    field,
+                    format!("tolerance must be finite and positive, got {v}"),
+                ))
+            }
+        }
+        match self.strategy {
+            Strategy::None => {}
+            Strategy::Direct { tol: t } => tol("strategy.tol", t)?,
+            Strategy::UpOnly { tol: t } => tol("strategy.tol", t)?,
+            Strategy::Adaptive { tol: t, tol_i } => {
+                tol("strategy.tol", t)?;
+                if !tol_i.is_finite() || tol_i < 0.0 {
+                    return Err(SimError::invalid_config(
+                        "strategy.tol_i",
+                        format!("must be finite and >= 0, got {tol_i}"),
+                    ));
+                }
+            }
+            Strategy::Mfu { tol: t, bins } => {
+                tol("strategy.tol", t)?;
+                if bins == 0 {
+                    return Err(SimError::invalid_config(
+                        "strategy.bins",
+                        "need at least one bin",
+                    ));
+                }
+            }
+        }
+        if let Some(peri) = self.peri_call_overhead {
+            if !peri.is_finite() || peri < 0.0 {
+                return Err(SimError::invalid_config(
+                    "peri_call_overhead",
+                    format!("must be finite and >= 0, got {peri}"),
+                ));
+            }
+        }
+        self.world_config().validate()
     }
 
     /// Disables compute noise (exact analytic checks in tests).
@@ -157,6 +213,12 @@ impl ExpConfig {
         self
     }
 
+    /// Sets the progress-watchdog thresholds.
+    pub fn with_watchdog(mut self, watchdog: WatchdogCfg) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
     pub(crate) fn world_config(&self) -> WorldConfig {
         let mut wc = WorldConfig::new(self.n_ranks)
             .with_limiter(self.strategy.limits())
@@ -170,6 +232,7 @@ impl ExpConfig {
         wc.burst_buffer = self.burst_buffer;
         wc.record_pfs = self.record_pfs;
         wc.faults = self.faults.clone();
+        wc.watchdog = self.watchdog;
         wc
     }
 

@@ -21,6 +21,7 @@
 //! wrappers over a [`Session`] and remain the stable convenience API.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
 mod run;
@@ -29,6 +30,9 @@ mod workload;
 
 pub use config::ExpConfig;
 pub use run::{RunOutput, Session, SessionBuilder};
+// Error vocabulary, re-exported so supervising frontends don't need a
+// direct simcore dependency.
+pub use simcore::{SimError, SimResult, StallSnapshot};
 pub use sink::{CsvSink, JsonReportSink, MemorySink, MetricsSink, RunMeta};
 pub use workload::{
     run_hacc, run_hacc_sync, run_wacomm, run_wacomm_sync, HaccIo, RawWorkload, Wacomm, Workload,

@@ -4,7 +4,7 @@
 use crate::sink::{MetricsSink, RunMeta};
 use crate::{ExpConfig, Workload};
 use mpisim::{RunSummary, World};
-use simcore::StepSeries;
+use simcore::{SimError, SimResult, StepSeries};
 use tmio::{Report, Tracer, TracerConfig};
 
 /// Everything one run produces.
@@ -64,7 +64,20 @@ impl Session {
     }
 
     /// Runs the workload under the tracer and collects everything.
+    ///
+    /// # Panics
+    /// On any [`SimError`] raised by the engine (deadlock, tripped
+    /// watchdog, invalid program); [`Session::try_run`] is the supervised,
+    /// non-panicking path.
     pub fn run(&self) -> RunOutput {
+        match self.try_run() {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the workload, surfacing engine failures as typed errors.
+    pub fn try_run(&self) -> SimResult<RunOutput> {
         let cfg = &self.cfg;
         let tracer = Tracer::new(cfg.n_ranks, cfg.tracer_config());
         let mut world = World::new(
@@ -75,7 +88,7 @@ impl Session {
         for f in self.workload.files(cfg.n_ranks) {
             world.create_file(&f);
         }
-        let summary = world.run();
+        let summary = world.try_run()?;
         let pfs_write = world.pfs_series(mpisim::Channel::Write).clone();
         let pfs_read = world.pfs_series(mpisim::Channel::Read).clone();
         let report = std::mem::replace(
@@ -83,12 +96,12 @@ impl Session {
             Tracer::new(0, TracerConfig::trace_only()),
         )
         .into_report();
-        RunOutput {
+        Ok(RunOutput {
             summary,
             report,
             pfs_write,
             pfs_read,
-        }
+        })
     }
 
     /// Runs and streams the result into `sink` (also returning it).
@@ -96,6 +109,14 @@ impl Session {
         let out = self.run();
         sink.on_run(&self.meta(), &out);
         out
+    }
+
+    /// Supervised variant of [`Session::run_into`]: engine failures come
+    /// back as typed errors and nothing reaches the sink.
+    pub fn try_run_into(&self, sink: &mut dyn MetricsSink) -> SimResult<RunOutput> {
+        let out = self.try_run()?;
+        sink.on_run(&self.meta(), &out);
+        Ok(out)
     }
 }
 
@@ -118,14 +139,34 @@ impl SessionBuilder {
         self
     }
 
-    /// Finalizes the session.
+    /// Finalizes the session, validating the configuration first.
     ///
     /// # Panics
-    /// If no workload was attached.
+    /// If no workload was attached or the configuration is invalid
+    /// ([`SessionBuilder::try_build`] is the supervised, non-panicking
+    /// path).
     pub fn build(self) -> Session {
-        Session {
-            cfg: self.cfg,
-            workload: self.workload.expect("SessionBuilder: no workload attached"),
+        match self.try_build() {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Finalizes the session, surfacing a missing workload or an invalid
+    /// configuration (NaN/zero/negative capacities, tolerances or
+    /// sub-request sizes, overlapping fault windows, …) as a typed
+    /// [`SimError`] instead of panicking.
+    pub fn try_build(self) -> SimResult<Session> {
+        self.cfg.validate()?;
+        let Some(workload) = self.workload else {
+            return Err(SimError::invalid_config(
+                "workload",
+                "SessionBuilder: no workload attached",
+            ));
+        };
+        Ok(Session {
+            cfg: self.cfg,
+            workload,
+        })
     }
 }

@@ -50,16 +50,33 @@ impl MetricsSink for MemorySink {
     }
 }
 
-/// Streams CSV rows to a file, writing the header eagerly — the shared
-/// backend behind every figure/ablation/chaos CSV.
+/// The temp-file sibling a path is staged through before the atomic rename.
+pub(crate) fn tmp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".into());
+    path.with_file_name(format!(".{name}.tmp"))
+}
+
+/// Streams CSV rows to a file — the shared backend behind every
+/// figure/ablation/chaos CSV. Rows accumulate in a temp-file sibling;
+/// [`CsvSink::finish`] flushes and atomically renames it into place, so an
+/// interrupted run never leaves a truncated CSV at the final path (the
+/// stale temp file is removed on drop).
 pub struct CsvSink {
     w: BufWriter<fs::File>,
     path: PathBuf,
+    tmp: PathBuf,
     rows: usize,
+    /// First write error, held until [`CsvSink::finish`] surfaces it (the
+    /// streaming [`MetricsSink`] interface has no error channel).
+    err: Option<std::io::Error>,
+    finished: bool,
 }
 
 impl CsvSink {
-    /// Creates `path` and writes `header` immediately.
+    /// Creates the temp sibling of `path` and writes `header` immediately.
     pub fn create(path: impl Into<PathBuf>, header: &str) -> std::io::Result<Self> {
         let path = path.into();
         if let Some(dir) = path.parent() {
@@ -67,9 +84,17 @@ impl CsvSink {
                 fs::create_dir_all(dir)?;
             }
         }
-        let mut w = BufWriter::new(fs::File::create(&path)?);
+        let tmp = tmp_sibling(&path);
+        let mut w = BufWriter::new(fs::File::create(&tmp)?);
         writeln!(w, "{header}")?;
-        Ok(CsvSink { w, path, rows: 0 })
+        Ok(CsvSink {
+            w,
+            path,
+            tmp,
+            rows: 0,
+            err: None,
+            finished: false,
+        })
     }
 
     /// Appends one pre-formatted row.
@@ -97,21 +122,37 @@ impl CsvSink {
         self.rows == 0
     }
 
-    /// The file being written.
+    /// The final path (the temp sibling until [`CsvSink::finish`]).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Flushes and returns the path.
+    /// Flushes, atomically renames the temp file into place, and returns
+    /// the final path. Surfaces any write error held from the streaming
+    /// [`MetricsSink`] interface.
     pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
         self.w.flush()?;
-        Ok(self.path)
+        self.w.get_ref().sync_all()?;
+        fs::rename(&self.tmp, &self.path)?;
+        self.finished = true;
+        Ok(self.path.clone())
     }
 
     /// The standard per-run summary header matching the
     /// [`MetricsSink`] impl's row format.
     pub const RUN_HEADER: &'static str =
         "workload,ranks,strategy,seed,app_s,post_s,required_Bps,calls";
+}
+
+impl Drop for CsvSink {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
 }
 
 impl MetricsSink for CsvSink {
@@ -127,7 +168,10 @@ impl MetricsSink for CsvSink {
             out.report.required_bandwidth(),
             out.report.calls,
         );
-        self.row(&row).expect("CsvSink: write row");
+        if let Err(e) = self.row(&row) {
+            // Sticky: the first error wins and fails finish().
+            self.err.get_or_insert(e);
+        }
     }
 }
 
@@ -137,6 +181,8 @@ impl MetricsSink for CsvSink {
 pub struct JsonReportSink {
     path: PathBuf,
     written: usize,
+    /// First write error, held until [`JsonReportSink::finish`].
+    err: Option<std::io::Error>,
 }
 
 impl JsonReportSink {
@@ -145,6 +191,7 @@ impl JsonReportSink {
         JsonReportSink {
             path: path.into(),
             written: 0,
+            err: None,
         }
     }
 
@@ -169,12 +216,30 @@ impl JsonReportSink {
     pub fn written(&self) -> usize {
         self.written
     }
+
+    /// Surfaces any write error held from the streaming [`MetricsSink`]
+    /// interface, returning the number of reports written.
+    pub fn finish(mut self) -> std::io::Result<usize> {
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(self.written),
+        }
+    }
 }
 
 impl MetricsSink for JsonReportSink {
     fn on_run(&mut self, _meta: &RunMeta, out: &RunOutput) {
         let path = self.nth_path(self.written);
-        fs::write(&path, out.report.to_json()).expect("JsonReportSink: write report");
-        self.written += 1;
+        // Stage through a temp sibling + atomic rename: a run killed
+        // mid-write never leaves a truncated report at the final path.
+        let tmp = tmp_sibling(&path);
+        let res = fs::write(&tmp, out.report.to_json()).and_then(|()| fs::rename(&tmp, &path));
+        match res {
+            Ok(()) => self.written += 1,
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                self.err.get_or_insert(e);
+            }
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! windows, `mpisim` consumes the error model, stragglers, cancellations and
 //! the [`RetryPolicy`] of its ADIO layer.
 
+use crate::error::{SimError, SimResult};
 use crate::rng::stream_rng;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -274,6 +275,98 @@ impl FaultPlan {
     pub fn stream(&self, stream: u64) -> SmallRng {
         stream_rng(self.seed ^ 0x00FA_017F_A017, stream)
     }
+
+    /// Rejects plans a supervised run cannot execute sensibly: NaN or
+    /// infinite window edges, factors outside `[0, 1]`, inverted spans
+    /// (zero-length windows are inert and allowed),
+    /// overlapping active windows on the same channel (a validated config
+    /// must schedule one degradation at a time — hand-built plans may still
+    /// compound, see [`FaultPlan::capacity_factor`]), out-of-range error
+    /// probabilities, non-positive straggler factors, and negative or NaN
+    /// retry-policy terms.
+    pub fn validate(&self) -> SimResult<()> {
+        let bad = |field: &str, reason: String| Err(SimError::invalid_config(field, reason));
+        for (i, w) in self.channel_faults.iter().enumerate() {
+            let f = format!("faults.channel_faults[{i}]");
+            if !w.start.is_finite() || w.start < 0.0 {
+                return bad(
+                    &f,
+                    format!("start must be finite and >= 0, got {}", w.start),
+                );
+            }
+            // Zero-length windows are inert no-ops, so `end == start` passes.
+            if !w.end.is_finite() || w.end < w.start {
+                return bad(
+                    &f,
+                    format!(
+                        "end must be finite and >= start, got [{}, {})",
+                        w.start, w.end
+                    ),
+                );
+            }
+            if !w.factor.is_finite() || !(0.0..=1.0).contains(&w.factor) {
+                return bad(&f, format!("factor must be in [0, 1], got {}", w.factor));
+            }
+        }
+        let active: Vec<&ChannelFaultWindow> = self.active_channel_faults().collect();
+        for (i, a) in active.iter().enumerate() {
+            for b in active.iter().skip(i + 1) {
+                let share_channel =
+                    (0..2).any(|c| a.channel.applies_to(c) && b.channel.applies_to(c));
+                if share_channel && a.start < b.end && b.start < a.end {
+                    return bad(
+                        "faults.channel_faults",
+                        format!(
+                            "windows [{}, {}) and [{}, {}) overlap on a shared channel",
+                            a.start, a.end, b.start, b.end
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(m) = &self.io_errors {
+            if !m.prob.is_finite() || !(0.0..=1.0).contains(&m.prob) {
+                return bad(
+                    "faults.io_errors.prob",
+                    format!("probability must be in [0, 1], got {}", m.prob),
+                );
+            }
+            if m.prob > 0.0 && m.kinds.is_empty() {
+                return bad(
+                    "faults.io_errors.kinds",
+                    "error model with positive probability needs at least one kind".into(),
+                );
+            }
+        }
+        for (i, s) in self.stragglers.iter().enumerate() {
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return bad(
+                    &format!("faults.stragglers[{i}].factor"),
+                    format!("must be finite and positive, got {}", s.factor),
+                );
+            }
+        }
+        let r = &self.retry;
+        if !r.base_backoff.is_finite() || r.base_backoff < 0.0 {
+            return bad(
+                "faults.retry.base_backoff",
+                format!("must be finite and >= 0, got {}", r.base_backoff),
+            );
+        }
+        if !r.multiplier.is_finite() || r.multiplier < 0.0 {
+            return bad(
+                "faults.retry.multiplier",
+                format!("must be finite and >= 0, got {}", r.multiplier),
+            );
+        }
+        if !r.max_backoff.is_finite() || r.max_backoff < 0.0 {
+            return bad(
+                "faults.retry.max_backoff",
+                format!("must be finite and >= 0, got {}", r.max_backoff),
+            );
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +487,126 @@ mod tests {
         assert_eq!(IoErrorKind::Io.code(), 5);
         assert_eq!(IoErrorKind::NoSpace.code(), 28);
         assert_eq!(IoErrorKind::Cancelled.name(), "ECANCELED");
+    }
+
+    #[test]
+    fn validate_accepts_sane_plans() {
+        assert_eq!(FaultPlan::default().validate(), Ok(()));
+        let plan = FaultPlan {
+            channel_faults: vec![
+                ChannelFaultWindow {
+                    channel: FaultChannel::Write,
+                    start: 1.0,
+                    end: 2.0,
+                    factor: 0.0,
+                },
+                ChannelFaultWindow {
+                    channel: FaultChannel::Read,
+                    start: 1.5,
+                    end: 2.5,
+                    factor: 0.5,
+                },
+            ],
+            io_errors: Some(IoErrorModel::with_prob(0.05)),
+            stragglers: vec![StragglerSpec {
+                rank: 0,
+                factor: 1.5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_windows() {
+        let w = |start, end, factor| FaultPlan {
+            channel_faults: vec![ChannelFaultWindow {
+                channel: FaultChannel::Both,
+                start,
+                end,
+                factor,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(w(f64::NAN, 1.0, 0.5).validate().is_err());
+        assert!(w(0.0, f64::INFINITY, 0.5).validate().is_err());
+        assert!(w(2.0, 1.0, 0.5).validate().is_err());
+        assert!(w(0.0, 1.0, -0.1).validate().is_err());
+        assert!(w(0.0, 1.0, 1.5).validate().is_err());
+        // Overlap on a shared channel is rejected for validated configs.
+        let overlap = FaultPlan {
+            channel_faults: vec![
+                ChannelFaultWindow {
+                    channel: FaultChannel::Both,
+                    start: 0.0,
+                    end: 10.0,
+                    factor: 0.5,
+                },
+                ChannelFaultWindow {
+                    channel: FaultChannel::Write,
+                    start: 5.0,
+                    end: 6.0,
+                    factor: 0.5,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(overlap.validate().is_err());
+        // Disjoint channels may share a time span.
+        let disjoint = FaultPlan {
+            channel_faults: vec![
+                ChannelFaultWindow {
+                    channel: FaultChannel::Write,
+                    start: 0.0,
+                    end: 10.0,
+                    factor: 0.5,
+                },
+                ChannelFaultWindow {
+                    channel: FaultChannel::Read,
+                    start: 5.0,
+                    end: 6.0,
+                    factor: 0.5,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(disjoint.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_models() {
+        let plan = FaultPlan {
+            io_errors: Some(IoErrorModel {
+                prob: 1.5,
+                kinds: vec![IoErrorKind::Io],
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+        let plan = FaultPlan {
+            io_errors: Some(IoErrorModel {
+                prob: 0.5,
+                kinds: vec![],
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+        let plan = FaultPlan {
+            stragglers: vec![StragglerSpec {
+                rank: 0,
+                factor: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+        let plan = FaultPlan {
+            retry: RetryPolicy {
+                base_backoff: f64::NAN,
+                ..RetryPolicy::default()
+            },
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
     }
 
     #[test]

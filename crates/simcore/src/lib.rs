@@ -14,7 +14,10 @@
 //! events fire in a total, reproducible order.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+/// Typed errors, stall diagnostics and the internal-invariant helper.
+pub mod error;
 /// Seeded fault plans replayed by the runtime crates (fault injection).
 pub mod fault;
 mod queue;
@@ -24,6 +27,7 @@ mod series;
 pub mod stats;
 mod time;
 
+pub use error::{Invariant, SimError, SimResult, StallSnapshot};
 pub use fault::{
     CancelSpec, ChannelFaultWindow, FaultChannel, FaultPlan, IoErrorKind, IoErrorModel,
     RetryPolicy, StragglerSpec,

@@ -14,6 +14,7 @@
 //! concurrently pending events instead of growing with total events ever
 //! scheduled.
 
+use crate::error::Invariant;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -142,7 +143,7 @@ impl<E> EventQueue<E> {
                 slot
             }
             None => {
-                let slot = u32::try_from(self.slots.len()).expect("slot count exceeds u32");
+                let slot = u32::try_from(self.slots.len()).invariant("slot count fits in u32");
                 self.slots.push(Slot {
                     gen: 0,
                     pending: true,

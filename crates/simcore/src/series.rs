@@ -63,10 +63,7 @@ impl StepSeries {
     /// The value at time `t`.
     pub fn value_at(&self, t: SimTime) -> f64 {
         let ts = t.as_secs();
-        match self
-            .points
-            .binary_search_by(|p| p.0.partial_cmp(&ts).expect("NaN-free"))
-        {
+        match self.points.binary_search_by(|p| p.0.total_cmp(&ts)) {
             Ok(i) => self.points[i].1,
             Err(0) => 0.0,
             Err(i) => self.points[i - 1].1,
@@ -142,7 +139,7 @@ impl StepSeries {
             .iter()
             .flat_map(|s| s.points.iter().map(|p| p.0))
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("NaN-free"));
+        times.sort_by(f64::total_cmp);
         times.dedup();
         let mut out = StepSeries::new();
         for t in times {

@@ -5,6 +5,7 @@
 //! Durations are plain `f64` seconds; the type only exists where ordering
 //! matters.
 
+use crate::error::Invariant;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
@@ -96,7 +97,9 @@ impl Ord for SimTime {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // Values are NaN-free by construction.
-        self.0.partial_cmp(&other.0).expect("SimTime is NaN-free")
+        self.0
+            .partial_cmp(&other.0)
+            .invariant("SimTime is NaN-free")
     }
 }
 

@@ -9,7 +9,7 @@
 //! component, run a radix-2 FFT, and report the dominant period with a
 //! confidence score.
 
-use simcore::{SimTime, StepSeries};
+use simcore::{Invariant, SimTime, StepSeries};
 
 /// Result of period detection.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -117,7 +117,7 @@ pub fn detect_period(
         .iter()
         .enumerate()
         .skip(1)
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN-free"))?;
+        .max_by(|a, b| a.1.partial_cmp(b.1).invariant("NaN-free"))?;
     let total: f64 = power.iter().skip(1).sum();
     if total <= 0.0 || *p_star <= 0.0 {
         return None;

@@ -6,7 +6,7 @@
 //! whose interval contains the region start — found with a sweep line over
 //! the sorted start/end times, exactly as Fig. 4 illustrates.
 
-use simcore::{SimTime, StepSeries};
+use simcore::{Invariant, SimTime, StepSeries};
 
 /// One rank-phase interval with its metric value.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,8 +36,8 @@ pub fn sweep(intervals: &[Interval]) -> StepSeries {
     // starts (intervals are right-open).
     events.sort_by(|a, b| {
         a.0.partial_cmp(&b.0)
-            .expect("NaN-free")
-            .then(a.1.partial_cmp(&b.1).expect("NaN-free"))
+            .invariant("NaN-free")
+            .then(a.1.partial_cmp(&b.1).invariant("NaN-free"))
     });
     // Residue guard scale: cancellation residue is proportional to the
     // magnitudes that were summed, so the threshold must be *relative* to

@@ -5,7 +5,7 @@
 use crate::regions::{sweep, Interval};
 use crate::tracer::{AsyncSpan, ChannelKind, PhaseRecord, SyncInterval, ThroughputWindow};
 use serde::{Deserialize, Serialize};
-use simcore::StepSeries;
+use simcore::{Invariant, StepSeries};
 
 /// Everything TMIO recorded about one run, plus modeled overheads.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -250,7 +250,7 @@ impl Report {
     /// Serializes to the JSON trace format (the file the real TMIO writes at
     /// `MPI_Finalize` for the plotting scripts).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        serde_json::to_string_pretty(self).invariant("report serializes")
     }
 
     /// Parses a JSON trace produced by [`Report::to_json`].

@@ -7,7 +7,7 @@
 
 use mpisim::{Channel, IoHooks, Limits, ReqTag};
 use serde::{Deserialize, Serialize};
-use simcore::SimTime;
+use simcore::{Invariant, SimTime};
 
 /// One intercepted event.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -115,7 +115,7 @@ impl<H: IoHooks> TraceLog<H> {
     pub fn to_jsonl(&self) -> String {
         self.entries
             .iter()
-            .map(|e| serde_json::to_string(e).expect("entry serializes"))
+            .map(|e| serde_json::to_string(e).invariant("entry serializes"))
             .collect::<Vec<_>>()
             .join("\n")
     }

@@ -18,7 +18,7 @@
 use crate::strategy::{Strategy, StrategyState};
 use mpisim::{Channel, IoHooks, Limits, ReqTag};
 use serde::{Deserialize, Serialize};
-use simcore::SimTime;
+use simcore::{Invariant, SimTime};
 use std::collections::HashMap;
 
 /// How per-request bandwidths combine into the rank metric `B_{i,j}`.
@@ -549,12 +549,12 @@ impl Tracer {
             .get(&key)
             .is_some_and(|s| s.complete.is_some() && s.wait_enter.is_some());
         if ready {
-            let s = self.open_spans.remove(&key).expect("span present");
+            let s = self.open_spans.remove(&key).invariant("span present");
             self.spans.push(AsyncSpan {
                 rank,
                 submit: s.submit.as_secs(),
-                complete: s.complete.expect("complete set").as_secs(),
-                wait_enter: s.wait_enter.expect("wait set").as_secs(),
+                complete: s.complete.invariant("complete set").as_secs(),
+                wait_enter: s.wait_enter.invariant("wait set").as_secs(),
                 bytes: s.bytes,
                 channel: s.channel.into(),
             });

@@ -39,9 +39,10 @@ pub mod prelude {
     pub use crate::experiments::{run_hacc, run_wacomm, ExpConfig, RunOutput};
     pub use hpcwl::hacc::HaccConfig;
     pub use hpcwl::wacomm::WacommConfig;
-    pub use mpisim::{threaded::Threaded, WorldConfig};
+    pub use mpisim::{threaded::Threaded, WatchdogCfg, WorldConfig};
     pub use session::{
-        HaccIo, MemorySink, MetricsSink, RawWorkload, Session, SessionBuilder, Wacomm, Workload,
+        HaccIo, MemorySink, MetricsSink, RawWorkload, Session, SessionBuilder, SimError, SimResult,
+        StallSnapshot, Wacomm, Workload,
     };
     pub use tmio::{Strategy, Tracer, TracerConfig};
 }

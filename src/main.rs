@@ -175,8 +175,13 @@ fn print_summary(out: &RunOutput) {
 /// when requested, and prints the summary.
 fn run_and_report(opts: &Opts, session: &Session) -> Result<(), String> {
     let out = match opts.0.get("json") {
-        Some(path) => session.run_into(&mut JsonReportSink::new(path)),
-        None => session.run(),
+        Some(path) => {
+            let mut sink = JsonReportSink::new(path);
+            let out = session.try_run_into(&mut sink).map_err(|e| e.to_string())?;
+            sink.finish().map_err(|e| format!("writing {path}: {e}"))?;
+            out
+        }
+        None => session.try_run().map_err(|e| e.to_string())?,
     };
     print_summary(&out);
     if let Some(path) = opts.0.get("json") {
@@ -199,7 +204,10 @@ fn cmd_hacc(opts: &Opts) -> Result<(), String> {
         hacc.loops,
         cfg.strategy.name()
     );
-    let session = Session::builder(cfg).workload(HaccIo::new(hacc)).build();
+    let session = Session::builder(cfg)
+        .workload(HaccIo::new(hacc))
+        .try_build()
+        .map_err(|e| e.to_string())?;
     run_and_report(opts, &session)
 }
 
@@ -215,7 +223,10 @@ fn cmd_wacomm(opts: &Opts) -> Result<(), String> {
         wc.iterations,
         cfg.strategy.name()
     );
-    let session = Session::builder(cfg).workload(Wacomm::new(wc)).build();
+    let session = Session::builder(cfg)
+        .workload(Wacomm::new(wc))
+        .try_build()
+        .map_err(|e| e.to_string())?;
     run_and_report(opts, &session)
 }
 
@@ -262,8 +273,9 @@ fn cmd_period(opts: &Opts) -> Result<(), String> {
     let cfg = ExpConfig::new(ranks, Strategy::None);
     let out = Session::builder(cfg)
         .workload(HaccIo::new(hacc))
-        .build()
-        .run();
+        .try_build()
+        .and_then(|s| s.try_run())
+        .map_err(|e| e.to_string())?;
     println!("HACC-IO {ranks} ranks: runtime {:.2} s", out.app_time());
     match iobts::tmio::ftio::detect_period(&out.pfs_write, 0.0, out.app_time(), 2048) {
         Some(est) => {
