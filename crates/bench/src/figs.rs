@@ -274,10 +274,10 @@ fn dump_series(out: &RunOutput, name: &str) -> Result<(), String> {
     let t_series = out.report.throughput_series();
     let b_series = out.report.required_series();
     let l_series = out.report.limit_series();
-    println!("  T   {}", crate::sparkline(&t_series, 0.0, horizon, 72));
-    println!("  B_L {}", crate::sparkline(&l_series, 0.0, horizon, 72));
-    println!("  B   {}", crate::sparkline(&b_series, 0.0, horizon, 72));
-    let rows = multi_series_rows(&[&t_series, &l_series, &b_series], 0.0, horizon, 400);
+    println!("  T   {}", crate::sparkline(t_series, 0.0, horizon, 72));
+    println!("  B_L {}", crate::sparkline(l_series, 0.0, horizon, 72));
+    println!("  B   {}", crate::sparkline(b_series, 0.0, horizon, 72));
+    let rows = multi_series_rows(&[t_series, l_series, b_series], 0.0, horizon, 400);
     let p = write_csv(name, "t,T_Bps,B_L_Bps,B_Bps", &rows).map_err(|e| e.to_string())?;
     println!(
         "series: peak T = {:.1} MB/s, max B = {:.1} MB/s, max B_L = {:.1} MB/s, \

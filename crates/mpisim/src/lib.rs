@@ -21,6 +21,7 @@
 
 mod hooks;
 mod ops;
+mod seqmap;
 /// Closure-per-rank front end (each rank is an OS thread in virtual time).
 pub mod threaded;
 mod world;

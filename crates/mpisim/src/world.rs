@@ -18,6 +18,7 @@
 
 use crate::hooks::{IoHooks, Limits};
 use crate::ops::{FileId, Op, Program, ReqTag};
+use crate::seqmap::SeqMap;
 use pfsim::{BurstBuffer, BurstBufferConfig, Channel, FlowId, FlowSpec, Pfs, PfsConfig};
 use simcore::{
     rank_phase_stream, stream_rng, EventKey, EventQueue, FaultPlan, Invariant, IoErrorKind, Noise,
@@ -365,10 +366,19 @@ pub struct RankAccounting {
     pub retry: f64,
 }
 
+/// One outstanding async request of a rank. Ranks keep at most a handful
+/// outstanding, so a linear-scanned inline vector beats hashing on the
+/// per-event path.
+#[derive(Clone, Copy, Debug)]
+struct ReqEntry {
+    tag: ReqTag,
+    state: ReqState,
+    channel: Channel,
+}
+
 struct RankState {
     status: Status,
-    requests: HashMap<ReqTag, ReqState>,
-    req_channel: HashMap<ReqTag, Channel>,
+    requests: Vec<ReqEntry>,
     compute_count: u64,
     collective_seq: u64,
     /// Async submits issued so far (indexes [`simcore::CancelSpec`]).
@@ -389,8 +399,7 @@ impl RankState {
     fn new() -> Self {
         RankState {
             status: Status::Runnable,
-            requests: HashMap::new(),
-            req_channel: HashMap::new(),
+            requests: Vec::with_capacity(4),
             compute_count: 0,
             collective_seq: 0,
             async_seq: 0,
@@ -403,6 +412,21 @@ impl RankState {
             acct: RankAccounting::default(),
             finished_at: None,
         }
+    }
+
+    fn req(&self, tag: ReqTag) -> Option<&ReqEntry> {
+        self.requests.iter().find(|r| r.tag == tag)
+    }
+
+    fn req_mut(&mut self, tag: ReqTag) -> Option<&mut ReqEntry> {
+        self.requests.iter_mut().find(|r| r.tag == tag)
+    }
+
+    /// Unregisters `tag`. Order is irrelevant (lookups are by tag), so the
+    /// swap-remove keeps this O(1) after the scan.
+    fn remove_req(&mut self, tag: ReqTag) -> Option<ReqEntry> {
+        let i = self.requests.iter().position(|r| r.tag == tag)?;
+        Some(self.requests.swap_remove(i))
     }
 }
 
@@ -417,7 +441,25 @@ enum CollKind {
 struct Collective {
     kind: CollKind,
     arrived: usize,
+    /// Outstanding aggregator flows of a [`CollKind::CollIo`] transfer phase.
+    pending: usize,
 }
+
+/// What a live PFS flow belongs to. Stored in a [`SeqMap`] keyed by
+/// [`FlowId`], replacing three hash containers on the completion hot path.
+#[derive(Clone, Copy, Debug)]
+enum FlowOwner {
+    /// A sub-request of an I/O task; completion drives pacing.
+    Task(TaskId),
+    /// A burst-buffer drain; nobody waits on it.
+    Background,
+    /// An aggregator transfer of collective I/O `id`.
+    Coll(u64),
+}
+
+/// Cap on how many same-timestamp events [`World::try_run`] pops in one
+/// batch before re-entering the scheduler loop.
+const MAX_BATCH: usize = 64;
 
 #[derive(Clone, Copy, Debug)]
 enum Event {
@@ -479,20 +521,20 @@ pub struct World<H: IoHooks> {
     pfs_wake: Option<EventKey>,
     ranks: Vec<RankState>,
     limits: Limits,
-    hooks: Option<H>,
+    hooks: H,
     driver: Box<dyn RankDriver>,
-    tasks: HashMap<TaskId, IoTask>,
+    /// Resident harvest buffer for [`World::drain_pfs`].
+    pfs_done: Vec<(SimTime, FlowId)>,
+    /// Live I/O tasks, keyed by the monotone [`TaskId`] counter.
+    tasks: SeqMap<IoTask>,
     next_task: u64,
-    flow_task: HashMap<FlowId, TaskId>,
+    /// Live PFS flows and what they belong to, keyed by the monotone
+    /// [`FlowId`] counter.
+    flows: SeqMap<FlowOwner>,
     collectives: HashMap<u64, Collective>,
     files: Vec<(String, f64)>,
     /// Per-rank burst buffers when configured.
     bbs: Vec<BurstBuffer>,
-    /// Background drain flows (no task attached).
-    background_flows: std::collections::HashSet<FlowId>,
-    /// Collective-I/O flows -> collective id, and per-id outstanding count.
-    coll_flows: HashMap<FlowId, u64>,
-    coll_pending: HashMap<u64, usize>,
     live_ranks: usize,
     cap_tick: u64,
     cap_rng: rand::rngs::SmallRng,
@@ -503,6 +545,11 @@ pub struct World<H: IoHooks> {
     futile_events: u64,
     /// First fatal error raised mid-event; [`World::try_run`] surfaces it.
     fatal: Option<SimError>,
+    /// Whether `MPISIM_TRACE` was set at construction (read once, not per
+    /// event).
+    trace: bool,
+    /// Resident buffer for same-timestamp event batches in [`World::try_run`].
+    batch: Vec<Event>,
 }
 
 impl<H: IoHooks> World<H> {
@@ -530,17 +577,15 @@ impl<H: IoHooks> World<H> {
             pfs_wake: None,
             ranks,
             limits,
-            hooks: Some(hooks),
+            hooks,
             driver,
-            tasks: HashMap::new(),
+            pfs_done: Vec::with_capacity(16),
+            tasks: SeqMap::with_capacity(16),
             next_task: 0,
-            flow_task: HashMap::new(),
+            flows: SeqMap::with_capacity(16),
             collectives: HashMap::new(),
             files: Vec::new(),
             bbs,
-            background_flows: std::collections::HashSet::new(),
-            coll_flows: HashMap::new(),
-            coll_pending: HashMap::new(),
             live_ranks,
             cap_tick: 0,
             cap_rng,
@@ -548,6 +593,8 @@ impl<H: IoHooks> World<H> {
             last_advance: SimTime::ZERO,
             futile_events: 0,
             fatal: None,
+            trace: std::env::var_os("MPISIM_TRACE").is_some(),
+            batch: Vec::with_capacity(MAX_BATCH),
         }
     }
 
@@ -571,17 +618,17 @@ impl<H: IoHooks> World<H> {
 
     /// Access to the observer (e.g. to pull TMIO's report after `run`).
     pub fn hooks(&self) -> &H {
-        self.hooks.as_ref().invariant("hooks present")
+        &self.hooks
     }
 
     /// Mutable access to the observer.
     pub fn hooks_mut(&mut self) -> &mut H {
-        self.hooks.as_mut().invariant("hooks present")
+        &mut self.hooks
     }
 
     /// Consumes the world, returning the observer and its recordings.
     pub fn into_hooks(self) -> H {
-        self.hooks.invariant("hooks present")
+        self.hooks
     }
 
     /// The PFS rate series of a channel (for plots).
@@ -648,6 +695,7 @@ impl<H: IoHooks> World<H> {
                 self.step_rank(rank);
             }
         }
+        let wd = self.cfg.watchdog;
         while self.live_ranks > 0 {
             if let Some(e) = self.fatal.take() {
                 return Err(e);
@@ -655,13 +703,44 @@ impl<H: IoHooks> World<H> {
             let Some((t, ev)) = self.queue.pop() else {
                 return Err(SimError::Deadlock(self.stall_snapshot()));
             };
-            self.handle(t, ev);
-            self.futile_events += 1;
-            let wd = self.cfg.watchdog;
-            if self.futile_events > wd.max_futile_events
-                || self.queue.now() - self.last_advance > wd.max_stall
-            {
-                return Err(SimError::Stalled(self.stall_snapshot()));
+            // Batch every event already scheduled for this same instant:
+            // one heap pop streak instead of pop/handle interleaving, so
+            // synchronized rank wakes (the common case in bulk-synchronous
+            // phases) avoid re-probing the heap top between handlers.
+            // `PfsWake` is excluded — it is the one cancellable event, and
+            // a pre-popped copy would dodge the queue's lazy deletion when
+            // a handler in the same batch cancels it via `resync_pfs`.
+            let mut batch = std::mem::take(&mut self.batch);
+            batch.clear();
+            batch.push(ev);
+            while batch.len() < MAX_BATCH {
+                match self.queue.peek() {
+                    Some((pt, pv)) if pt == t && !matches!(pv, Event::PfsWake) => {
+                        let (_, e) = self.queue.pop().invariant("peeked event pops");
+                        batch.push(e);
+                    }
+                    _ => break,
+                }
+            }
+            let mut err = None;
+            for &ev in &batch {
+                // Events behind a fatal error or the last rank's exit are
+                // dropped, exactly as if they had never been popped.
+                if self.fatal.is_some() || self.live_ranks == 0 {
+                    break;
+                }
+                self.handle(t, ev);
+                self.futile_events += 1;
+                if self.futile_events > wd.max_futile_events
+                    || self.queue.now() - self.last_advance > wd.max_stall
+                {
+                    err = Some(SimError::Stalled(self.stall_snapshot()));
+                    break;
+                }
+            }
+            self.batch = batch;
+            if let Some(e) = err {
+                return Err(e);
             }
         }
         if let Some(e) = self.fatal.take() {
@@ -710,14 +789,14 @@ impl<H: IoHooks> World<H> {
             .filter(|(_, r)| r.status != Status::Done)
             .map(|(i, r)| format!("rank {i}: {:?}", r.status))
             .collect();
-        let mut tasks: Vec<(&TaskId, &IoTask)> = self.tasks.iter().collect();
-        tasks.sort_by_key(|(id, _)| id.0);
-        let pending_ops: Vec<String> = tasks
-            .into_iter()
+        // SeqMap iterates in id order, so the report needs no sort pass.
+        let pending_ops: Vec<String> = self
+            .tasks
+            .iter()
             .map(|(id, t)| {
                 format!(
-                    "task {}: rank {} {:?} {:.0} B left, tag {:?}, {} attempt(s)",
-                    id.0, t.rank, t.channel, t.bytes_left, t.tag, t.attempts
+                    "task {id}: rank {} {:?} {:.0} B left, tag {:?}, {} attempt(s)",
+                    t.rank, t.channel, t.bytes_left, t.tag, t.attempts
                 )
             })
             .collect();
@@ -735,7 +814,7 @@ impl<H: IoHooks> World<H> {
     // Event handling
 
     fn handle(&mut self, t: SimTime, ev: Event) {
-        if std::env::var_os("MPISIM_TRACE").is_some() {
+        if self.trace {
             eprintln!("[{t:?}] {ev:?} queue={}", self.queue.len());
         }
         match ev {
@@ -754,7 +833,7 @@ impl<H: IoHooks> World<H> {
                 self.resync_pfs();
             }
             Event::BbDone(id) => {
-                let task = self.tasks.remove(&id).invariant("bb task exists");
+                let task = self.tasks.remove(id.0).invariant("bb task exists");
                 let now = self.queue.now();
                 if task.cancelled {
                     self.fail_task(now, id, task, IoErrorKind::Cancelled);
@@ -782,10 +861,13 @@ impl<H: IoHooks> World<H> {
                                     }
                                     Channel::Read => self.ranks[rank].acct.sync_read += t - entered,
                                 }
-                                let mut hooks = self.hooks.take().invariant("hooks");
-                                let o =
-                                    hooks.on_sync_end(t, rank, bytes, channel, &mut self.limits);
-                                self.hooks = Some(hooks);
+                                let o = self.hooks.on_sync_end(
+                                    t,
+                                    rank,
+                                    bytes,
+                                    channel,
+                                    &mut self.limits,
+                                );
                                 self.ranks[rank].acct.overhead += o;
                             }
                             _ => self.ranks[rank].acct.collective += t - entered,
@@ -828,13 +910,20 @@ impl<H: IoHooks> World<H> {
 
     /// Drains PFS completions up to `now`, handling each. Loops because a
     /// pacing-free task may chain its next sub-request at the same instant.
+    ///
+    /// Harvests into a resident buffer taken off `self` for the duration
+    /// (re-entrant calls via `on_flow_complete` → `start_subrequest` see an
+    /// empty placeholder, which stays allocation-free because their drains
+    /// find nothing left to harvest).
     fn drain_pfs(&mut self) {
         let mut iters = 0u32;
+        let mut done = std::mem::take(&mut self.pfs_done);
         loop {
             let now = self.queue.now();
-            let done = self.pfs.advance_to(now);
+            done.clear();
+            self.pfs.advance_into(now, &mut done);
             if done.is_empty() {
-                return;
+                break;
             }
             iters += 1;
             if iters > 10_000 {
@@ -842,12 +931,13 @@ impl<H: IoHooks> World<H> {
                     "drain_pfs livelock at {now:?}: {} completions pending",
                     done.len()
                 )));
-                return;
+                break;
             }
-            for (ct, flow) in done {
+            for &(ct, flow) in &done {
                 self.on_flow_complete(ct, flow);
             }
         }
+        self.pfs_done = done;
     }
 
     /// Re-schedules the single PFS wake event at the next completion time.
@@ -880,9 +970,7 @@ impl<H: IoHooks> World<H> {
                 self.ranks[rank].finished_at = Some(now);
                 self.live_ranks -= 1;
                 self.note_progress();
-                let mut hooks = self.hooks.take().invariant("hooks");
-                hooks.on_rank_done(now, rank);
-                self.hooks = Some(hooks);
+                self.hooks.on_rank_done(now, rank);
                 return;
             };
             if fresh {
@@ -942,17 +1030,15 @@ impl<H: IoHooks> World<H> {
     /// `PollWait` still completes it.
     fn exec_test(&mut self, rank: usize, tag: ReqTag) -> bool {
         let now = self.queue.now();
-        let Some(state) = self.ranks[rank].requests.get(&tag) else {
+        let Some(entry) = self.ranks[rank].req(tag) else {
             self.fail_run(SimError::invalid_program(
                 rank,
                 format!("test on unknown request {tag:?}"),
             ));
             return true;
         };
-        let done = matches!(state, ReqState::Completed | ReqState::Failed(_));
-        let mut hooks = self.hooks.take().invariant("hooks");
-        let o = hooks.on_test(now, rank, tag, done, &mut self.limits);
-        self.hooks = Some(hooks);
+        let done = matches!(entry.state, ReqState::Completed | ReqState::Failed(_));
+        let o = self.hooks.on_test(now, rank, tag, done, &mut self.limits);
         self.driver.on_test_result(rank, done);
         self.ranks[rank].acct.overhead += o;
         self.block_for(rank, o, BlockKind::Overhead)
@@ -971,43 +1057,39 @@ impl<H: IoHooks> World<H> {
             return true;
         }
         let now = self.queue.now();
-        let Some(&state) = self.ranks[rank].requests.get(&tag) else {
+        let Some(entry) = self.ranks[rank].req(tag) else {
             self.fail_run(SimError::invalid_program(
                 rank,
                 format!("poll-wait on unknown request {tag:?}"),
             ));
             return true;
         };
-        let done = state != ReqState::InFlight;
+        let done = entry.state != ReqState::InFlight;
         let first = self.ranks[rank].polling != Some(tag);
         let mut overhead = 0.0;
         if first {
             self.ranks[rank].polling = Some(tag);
             self.ranks[rank].wait_entered = now;
-            let mut hooks = self.hooks.take().invariant("hooks");
-            overhead += hooks.on_wait_enter(now, rank, tag, done, &mut self.limits);
-            self.hooks = Some(hooks);
+            overhead += self
+                .hooks
+                .on_wait_enter(now, rank, tag, done, &mut self.limits);
         }
         if done {
-            let mut hooks = self.hooks.take().invariant("hooks");
-            overhead += hooks.on_wait_exit(now, rank, tag, &mut self.limits);
-            self.hooks = Some(hooks);
+            overhead += self.hooks.on_wait_exit(now, rank, tag, &mut self.limits);
             let entered = self.ranks[rank].wait_entered;
             let lost = now - entered;
-            let channel = self.ranks[rank].req_channel[&tag];
-            match channel {
+            let entry = self.ranks[rank]
+                .remove_req(tag)
+                .invariant("request registered");
+            match entry.channel {
                 Channel::Write => self.ranks[rank].acct.wait_write += lost,
                 Channel::Read => self.ranks[rank].acct.wait_read += lost,
             }
             self.ranks[rank].polling = None;
-            self.ranks[rank].requests.remove(&tag);
-            self.ranks[rank].req_channel.remove(&tag);
             self.ranks[rank].acct.overhead += overhead;
             self.block_for(rank, overhead, BlockKind::Overhead)
         } else {
-            let mut hooks = self.hooks.take().invariant("hooks");
-            overhead += hooks.on_test(now, rank, tag, false, &mut self.limits);
-            self.hooks = Some(hooks);
+            overhead += self.hooks.on_test(now, rank, tag, false, &mut self.limits);
             self.ranks[rank].acct.overhead += overhead;
             self.ranks[rank].pending_repeat = Some(Op::PollWait { tag, interval });
             self.block_for(rank, interval + overhead, BlockKind::Compute)
@@ -1029,10 +1111,11 @@ impl<H: IoHooks> World<H> {
         let id = self.ranks[rank].collective_seq;
         self.ranks[rank].collective_seq += 1;
         let n = self.cfg.n_ranks;
-        let coll = self
-            .collectives
-            .entry(id)
-            .or_insert(Collective { kind, arrived: 0 });
+        let coll = self.collectives.entry(id).or_insert(Collective {
+            kind,
+            arrived: 0,
+            pending: 0,
+        });
         if coll.kind != kind {
             let existing = coll.kind;
             self.fail_run(SimError::invalid_program(
@@ -1075,9 +1158,9 @@ impl<H: IoHooks> World<H> {
     /// Collective I/O entry: hooks see it as a blocking call on every rank.
     fn exec_coll_io(&mut self, rank: usize, file: FileId, bytes: f64, channel: Channel) -> bool {
         let now = self.queue.now();
-        let mut hooks = self.hooks.take().invariant("hooks");
-        let o = hooks.on_sync_begin(now, rank, bytes, channel, &mut self.limits);
-        self.hooks = Some(hooks);
+        let o = self
+            .hooks
+            .on_sync_begin(now, rank, bytes, channel, &mut self.limits);
         self.ranks[rank].acct.overhead += o;
         if channel == Channel::Write {
             self.files[file.0 as usize].1 += bytes;
@@ -1111,17 +1194,20 @@ impl<H: IoHooks> World<H> {
             aggregators,
         );
         for f in &flows {
-            self.coll_flows.insert(*f, id);
+            self.flows.insert(f.0, FlowOwner::Coll(id));
         }
-        self.coll_pending.insert(id, aggregators);
+        self.collectives
+            .get_mut(&id)
+            .invariant("collective exists")
+            .pending = aggregators;
         self.resync_pfs();
     }
 
     fn exec_sync_io(&mut self, rank: usize, file: FileId, bytes: f64, channel: Channel) -> bool {
         let now = self.queue.now();
-        let mut hooks = self.hooks.take().invariant("hooks");
-        let o = hooks.on_sync_begin(now, rank, bytes, channel, &mut self.limits);
-        self.hooks = Some(hooks);
+        let o = self
+            .hooks
+            .on_sync_begin(now, rank, bytes, channel, &mut self.limits);
         self.ranks[rank].acct.overhead += o;
         if channel == Channel::Write {
             self.files[file.0 as usize].1 += bytes;
@@ -1147,7 +1233,7 @@ impl<H: IoHooks> World<H> {
         let done = self.bbs[rank].absorb(now.as_secs(), bytes);
         // Mark the task as fully transferred from the application's view.
         self.tasks
-            .get_mut(&task)
+            .get_mut(task.0)
             .invariant("task exists")
             .bytes_left = 0.0;
         self.queue
@@ -1168,7 +1254,7 @@ impl<H: IoHooks> World<H> {
                 meter: None,
             },
         );
-        self.background_flows.insert(flow);
+        self.flows.insert(flow.0, FlowOwner::Background);
     }
 
     fn exec_async_io(
@@ -1180,27 +1266,33 @@ impl<H: IoHooks> World<H> {
         channel: Channel,
     ) -> bool {
         let now = self.queue.now();
-        if self.ranks[rank].requests.contains_key(&tag) {
+        if self.ranks[rank].req(tag).is_some() {
             self.fail_run(SimError::invalid_program(
                 rank,
                 format!("request tag {tag:?} already outstanding"),
             ));
             return true;
         }
-        let mut hooks = self.hooks.take().invariant("hooks");
-        let o = hooks.on_async_submit(now, rank, tag, bytes, channel, &mut self.limits);
-        self.hooks = Some(hooks);
+        let o = self
+            .hooks
+            .on_async_submit(now, rank, tag, bytes, channel, &mut self.limits);
         self.ranks[rank].acct.overhead += o;
         if channel == Channel::Write {
             self.files[file.0 as usize].1 += bytes;
         }
-        self.ranks[rank].requests.insert(tag, ReqState::InFlight);
-        self.ranks[rank].req_channel.insert(tag, channel);
+        self.ranks[rank].requests.push(ReqEntry {
+            tag,
+            state: ReqState::InFlight,
+            channel,
+        });
         let seq = self.ranks[rank].async_seq;
         self.ranks[rank].async_seq += 1;
         let task = self.new_task(rank, Some(tag), bytes, channel);
         if self.cfg.faults.cancels(rank, seq) {
-            self.tasks.get_mut(&task).invariant("task exists").cancelled = true;
+            self.tasks
+                .get_mut(task.0)
+                .invariant("task exists")
+                .cancelled = true;
         }
         if channel == Channel::Write && self.cfg.burst_buffer.is_some() {
             self.start_bb_write(task, rank, bytes);
@@ -1214,25 +1306,23 @@ impl<H: IoHooks> World<H> {
 
     fn exec_wait(&mut self, rank: usize, tag: ReqTag) -> bool {
         let now = self.queue.now();
-        let Some(&state) = self.ranks[rank].requests.get(&tag) else {
+        let Some(entry) = self.ranks[rank].req(tag) else {
             self.fail_run(SimError::invalid_program(
                 rank,
                 format!("wait on unknown request {tag:?}"),
             ));
             return true;
         };
-        let already_done = state != ReqState::InFlight;
-        let mut hooks = self.hooks.take().invariant("hooks");
-        let mut o = hooks.on_wait_enter(now, rank, tag, already_done, &mut self.limits);
+        let already_done = entry.state != ReqState::InFlight;
+        let mut o = self
+            .hooks
+            .on_wait_enter(now, rank, tag, already_done, &mut self.limits);
         if already_done {
-            o += hooks.on_wait_exit(now, rank, tag, &mut self.limits);
-            self.hooks = Some(hooks);
-            self.ranks[rank].requests.remove(&tag);
-            self.ranks[rank].req_channel.remove(&tag);
+            o += self.hooks.on_wait_exit(now, rank, tag, &mut self.limits);
+            self.ranks[rank].remove_req(tag);
             self.ranks[rank].acct.overhead += o;
             self.block_for(rank, o, BlockKind::Overhead)
         } else {
-            self.hooks = Some(hooks);
             self.ranks[rank].acct.overhead += o;
             self.ranks[rank].wait_entered = now;
             self.ranks[rank].status = Status::Blocked(BlockKind::Wait(tag));
@@ -1261,7 +1351,7 @@ impl<H: IoHooks> World<H> {
             None
         };
         self.tasks.insert(
-            id,
+            id.0,
             IoTask {
                 rank,
                 tag,
@@ -1283,23 +1373,23 @@ impl<H: IoHooks> World<H> {
     /// after a trailing pacing sleep).
     fn start_subrequest(&mut self, id: TaskId) {
         {
-            let task = self.tasks.get(&id).invariant("task exists");
+            let task = self.tasks.get(id.0).invariant("task exists");
             if task.bytes_left <= 1e-6 {
                 let ct = self.queue.now();
-                let task = self.tasks.remove(&id).invariant("task exists");
+                let task = self.tasks.remove(id.0).invariant("task exists");
                 self.finish_task(ct, id, task);
                 return;
             }
         }
         self.drain_pfs();
         let now = self.queue.now();
-        let task = self.tasks.get_mut(&id).invariant("task exists");
+        let task = self.tasks.get_mut(id.0).invariant("task exists");
         let size = task.bytes_left.min(self.cfg.subreq_bytes).max(0.0);
         task.subreq_bytes = size;
         task.subreq_started = now;
         let channel = task.channel;
         let flow = self.pfs.submit(now, channel, FlowSpec::simple(size));
-        self.flow_task.insert(flow, id);
+        self.flows.insert(flow.0, FlowOwner::Task(id));
     }
 
     /// A sub-request's PFS transfer finished: apply pacing, chain or finish.
@@ -1310,29 +1400,34 @@ impl<H: IoHooks> World<H> {
     fn on_flow_complete(&mut self, ct: SimTime, flow: FlowId) {
         // Bytes landed on the PFS: the run is advancing.
         self.note_progress();
-        if self.background_flows.remove(&flow) {
-            return; // a burst-buffer drain finished; nobody waits on it
-        }
-        if let Some(id) = self.coll_flows.remove(&flow) {
-            let left = self.coll_pending.get_mut(&id).invariant("pending count");
-            *left -= 1;
-            if *left == 0 {
-                self.coll_pending.remove(&id);
-                let at = ct.max(self.queue.now());
-                self.queue.schedule(at, Event::CollectiveRelease(id));
+        let owner = self
+            .flows
+            .remove(flow.0)
+            .invariant("flow has a registered owner");
+        let id = match owner {
+            FlowOwner::Background => {
+                return; // a burst-buffer drain finished; nobody waits on it
             }
-            return;
-        }
-        let _ = ct;
-        let id = self
-            .flow_task
-            .remove(&flow)
-            .invariant("flow belongs to a task");
+            FlowOwner::Coll(id) => {
+                let left = &mut self
+                    .collectives
+                    .get_mut(&id)
+                    .invariant("collective exists")
+                    .pending;
+                *left -= 1;
+                if *left == 0 {
+                    let at = ct.max(self.queue.now());
+                    self.queue.schedule(at, Event::CollectiveRelease(id));
+                }
+                return;
+            }
+            FlowOwner::Task(id) => id,
+        };
         if self.apply_io_fault(ct, id) {
             return; // the sub-request failed; its bytes are discarded
         }
         let (rank, finished, subreq_bytes, subreq_started) = {
-            let task = self.tasks.get_mut(&id).invariant("task exists");
+            let task = self.tasks.get_mut(id.0).invariant("task exists");
             task.bytes_left -= task.subreq_bytes;
             (
                 task.rank,
@@ -1345,7 +1440,7 @@ impl<H: IoHooks> World<H> {
         // more this transfer perturbed the rank's compute threads.
         if self.cfg.interference_alpha > 0.0 {
             let channel = {
-                let task = self.tasks.get(&id).invariant("task exists");
+                let task = self.tasks.get(id.0).invariant("task exists");
                 task.channel
             };
             let capacity = match channel {
@@ -1358,7 +1453,7 @@ impl<H: IoHooks> World<H> {
                 * (subreq_bytes / capacity.max(1.0));
         }
         // Pacing: compare achieved vs required sub-request time (Sec. V).
-        let is_sync = self.tasks.get(&id).invariant("task exists").tag.is_none();
+        let is_sync = self.tasks.get(id.0).invariant("task exists").tag.is_none();
         let limit = if is_sync && !self.cfg.limit_sync_ops {
             None
         } else {
@@ -1366,7 +1461,7 @@ impl<H: IoHooks> World<H> {
         };
         let mut delay = 0.0;
         if let Some(limit) = limit {
-            let task = self.tasks.get_mut(&id).invariant("task exists");
+            let task = self.tasks.get_mut(id.0).invariant("task exists");
             let actual = ct - subreq_started;
             let required = subreq_bytes / limit;
             if actual < required {
@@ -1385,7 +1480,7 @@ impl<H: IoHooks> World<H> {
             let resume_at = ct.max(self.queue.now()).after(delay);
             self.queue.schedule(resume_at, Event::IoTaskNext(id));
         } else if finished {
-            let task = self.tasks.remove(&id).invariant("task exists");
+            let task = self.tasks.remove(id.0).invariant("task exists");
             self.finish_task(ct, id, task);
         } else {
             self.start_subrequest(id);
@@ -1400,7 +1495,7 @@ impl<H: IoHooks> World<H> {
     /// transferred bytes are discarded.
     fn apply_io_fault(&mut self, ct: SimTime, id: TaskId) -> bool {
         let (cancelled, drawn) = {
-            let task = self.tasks.get_mut(&id).invariant("task exists");
+            let task = self.tasks.get_mut(id.0).invariant("task exists");
             if task.cancelled {
                 (true, None)
             } else {
@@ -1412,21 +1507,21 @@ impl<H: IoHooks> World<H> {
             }
         };
         if cancelled {
-            let task = self.tasks.remove(&id).invariant("task exists");
+            let task = self.tasks.remove(id.0).invariant("task exists");
             self.fail_task(ct, id, task, IoErrorKind::Cancelled);
             return true;
         }
         let Some(kind) = drawn else {
-            self.tasks.get_mut(&id).invariant("task exists").attempts = 0;
+            self.tasks.get_mut(id.0).invariant("task exists").attempts = 0;
             return false;
         };
         let (rank, tag, attempts) = {
-            let task = self.tasks.get_mut(&id).invariant("task exists");
+            let task = self.tasks.get_mut(id.0).invariant("task exists");
             task.attempts += 1;
             (task.rank, task.tag, task.attempts)
         };
         if attempts > self.cfg.faults.retry.max_retries {
-            let task = self.tasks.remove(&id).invariant("task exists");
+            let task = self.tasks.remove(id.0).invariant("task exists");
             self.fail_task(ct, id, task, kind);
             return true;
         }
@@ -1434,9 +1529,8 @@ impl<H: IoHooks> World<H> {
         // (IoTaskNext re-reads the limit and restarts pacing cleanly).
         let backoff = self.cfg.faults.retry.backoff(attempts - 1);
         self.ranks[rank].acct.retry += backoff;
-        let mut hooks = self.hooks.take().invariant("hooks");
-        hooks.on_io_retry(ct, rank, tag, kind, attempts, backoff);
-        self.hooks = Some(hooks);
+        self.hooks
+            .on_io_retry(ct, rank, tag, kind, attempts, backoff);
         let resume_at = ct.max(self.queue.now()).after(backoff);
         self.queue.schedule(resume_at, Event::IoTaskNext(id));
         true
@@ -1455,9 +1549,8 @@ impl<H: IoHooks> World<H> {
             at: at.as_secs(),
             attempts: task.attempts,
         });
-        let mut hooks = self.hooks.take().invariant("hooks");
-        hooks.on_op_error(at, task.rank, task.tag, kind, task.attempts);
-        self.hooks = Some(hooks);
+        self.hooks
+            .on_op_error(at, task.rank, task.tag, kind, task.attempts);
         self.driver.on_op_error(task.rank, kind);
         self.complete_task(ct, id, task, Some(kind));
     }
@@ -1481,16 +1574,14 @@ impl<H: IoHooks> World<H> {
         match task.tag {
             Some(tag) => {
                 // Async request: mark complete (or failed), notify tool.
-                *self.ranks[rank]
-                    .requests
-                    .get_mut(&tag)
-                    .invariant("request registered") = match error {
+                self.ranks[rank]
+                    .req_mut(tag)
+                    .invariant("request registered")
+                    .state = match error {
                     None => ReqState::Completed,
                     Some(kind) => ReqState::Failed(kind),
                 };
-                let mut hooks = self.hooks.take().invariant("hooks");
-                hooks.on_request_complete(ct, rank, tag);
-                self.hooks = Some(hooks);
+                self.hooks.on_request_complete(ct, rank, tag);
                 if status == Status::Blocked(BlockKind::Wait(tag)) {
                     // The rank was stuck in MPI_Wait: async-lost time.
                     let entered = self.ranks[rank].wait_entered;
@@ -1499,12 +1590,11 @@ impl<H: IoHooks> World<H> {
                         Channel::Write => self.ranks[rank].acct.wait_write += lost,
                         Channel::Read => self.ranks[rank].acct.wait_read += lost,
                     }
-                    let mut hooks = self.hooks.take().invariant("hooks");
-                    let o = hooks.on_wait_exit(release_at, rank, tag, &mut self.limits);
-                    self.hooks = Some(hooks);
+                    let o = self
+                        .hooks
+                        .on_wait_exit(release_at, rank, tag, &mut self.limits);
                     self.ranks[rank].acct.overhead += o;
-                    self.ranks[rank].requests.remove(&tag);
-                    self.ranks[rank].req_channel.remove(&tag);
+                    self.ranks[rank].remove_req(tag);
                     // Resume via the queue so completions drain first.
                     self.ranks[rank].status = Status::Blocked(BlockKind::Overhead);
                     self.queue
@@ -1521,9 +1611,9 @@ impl<H: IoHooks> World<H> {
                     Channel::Write => self.ranks[rank].acct.sync_write += dur,
                     Channel::Read => self.ranks[rank].acct.sync_read += dur,
                 }
-                let mut hooks = self.hooks.take().invariant("hooks");
-                let o = hooks.on_sync_end(release_at, rank, bytes, task.channel, &mut self.limits);
-                self.hooks = Some(hooks);
+                let o =
+                    self.hooks
+                        .on_sync_end(release_at, rank, bytes, task.channel, &mut self.limits);
                 self.ranks[rank].acct.overhead += o;
                 self.ranks[rank].status = Status::Blocked(BlockKind::Overhead);
                 self.queue

@@ -174,6 +174,10 @@ pub struct Pfs {
     record: bool,
     /// Resident per-meter rate buffer for series recording.
     meter_rates: Vec<f64>,
+    /// Recycled group-member buffers: retiring a group returns its `members`
+    /// vector here, and the next group creation reuses it, so steady-state
+    /// submit/complete churn performs no heap allocation.
+    member_pool: Vec<Vec<FlowId>>,
 }
 
 /// Bytes below which a flow counts as finished (guards FP drift).
@@ -196,6 +200,7 @@ impl Pfs {
             locator: HashMap::new(),
             record: true,
             meter_rates: Vec::new(),
+            member_pool: Vec::new(),
         }
     }
 
@@ -280,22 +285,63 @@ impl Pfs {
         });
         match found {
             Some(g) => g.members.extend_from_slice(&ids),
-            None => ch.groups.push(Group {
-                members: ids.clone(),
-                remaining: spec.bytes,
-                weight: spec.weight,
-                cap: spec.cap,
-                meter: spec.meter,
-                rate: 0.0,
-            }),
+            None => {
+                let mut members = self.member_pool.pop().unwrap_or_default();
+                members.extend_from_slice(&ids);
+                ch.groups.push(Group {
+                    members,
+                    remaining: spec.bytes,
+                    weight: spec.weight,
+                    cap: spec.cap,
+                    meter: spec.meter,
+                    rate: 0.0,
+                });
+            }
         }
         self.reallocate(channel);
         ids
     }
 
     /// Submits a single flow. See [`Pfs::submit_many`].
+    ///
+    /// Unlike the batch variant this path is allocation-free in steady state:
+    /// the id goes straight into a (possibly recycled) group-member buffer.
     pub fn submit(&mut self, t: SimTime, channel: Channel, spec: FlowSpec) -> FlowId {
-        self.submit_many(t, channel, spec, 1)[0]
+        assert!(spec.bytes >= 0.0, "bytes must be non-negative");
+        assert!(spec.weight > 0.0, "weight must be positive");
+        let done = self.advance_to(t);
+        assert!(
+            done.is_empty(),
+            "advance_to before submit returned unharvested completions; \
+             call advance_to(t) and handle them first"
+        );
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.locator.insert(id, channel);
+        let ch = &mut self.channels[channel.index()];
+        let found = ch.groups.iter_mut().find(|g| {
+            g.remaining == spec.bytes
+                && g.cap == spec.cap
+                && g.weight == spec.weight
+                && g.meter == spec.meter
+        });
+        match found {
+            Some(g) => g.members.push(id),
+            None => {
+                let mut members = self.member_pool.pop().unwrap_or_default();
+                members.push(id);
+                ch.groups.push(Group {
+                    members,
+                    remaining: spec.bytes,
+                    weight: spec.weight,
+                    cap: spec.cap,
+                    meter: spec.meter,
+                    rate: 0.0,
+                });
+            }
+        }
+        self.reallocate(channel);
+        id
     }
 
     /// Changes the rate cap of one in-flight flow at time `t`.
@@ -319,10 +365,12 @@ impl Pfs {
             ch.groups[gi].cap = cap;
         } else {
             // Split this member into its own group.
+            let mut members = self.member_pool.pop().unwrap_or_default();
+            members.push(flow);
             let g = &mut ch.groups[gi];
             g.members.retain(|&m| m != flow);
             let split = Group {
-                members: vec![flow],
+                members,
                 remaining: g.remaining,
                 weight: g.weight,
                 cap,
@@ -380,13 +428,23 @@ impl Pfs {
 
     /// Advances the fluid state to time `t`, returning every flow that
     /// completed at or before `t` with its completion time, in time order.
+    ///
+    /// Allocates only when completions exist; event-loop callers should
+    /// prefer [`Pfs::advance_into`] with a resident buffer.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<(SimTime, FlowId)> {
+        let mut completed = Vec::new();
+        self.advance_into(t, &mut completed);
+        completed
+    }
+
+    /// Allocation-free form of [`Pfs::advance_to`]: appends completions to
+    /// `completed` (not cleared first) and recycles retired group buffers.
+    pub fn advance_into(&mut self, t: SimTime, completed: &mut Vec<(SimTime, FlowId)>) {
         assert!(
             t >= self.now,
             "PFS cannot move backwards: {t:?} < {:?}",
             self.now
         );
-        let mut completed = Vec::new();
         loop {
             // The earliest internal completion comes straight off the index
             // (the same helper `next_completion` exposes), replacing the
@@ -396,7 +454,7 @@ impl Pfs {
                 _ => {
                     self.progress_all(t);
                     self.now = t;
-                    return completed;
+                    return;
                 }
             };
             self.progress_all(step_to);
@@ -422,11 +480,13 @@ impl Pfs {
                     let g = &self.channels[idx].groups[i];
                     let eps = EPSILON_BYTES.max(g.rate * time_ulp * 4.0);
                     if g.remaining <= eps {
-                        let g = self.channels[idx].groups.swap_remove(i);
-                        for m in g.members {
+                        let mut g = self.channels[idx].groups.swap_remove(i);
+                        for &m in &g.members {
                             self.locator.remove(&m);
                             completed.push((step_to, m));
                         }
+                        g.members.clear();
+                        self.member_pool.push(g.members);
                         finished_any = true;
                     } else {
                         i += 1;
@@ -825,7 +885,7 @@ mod tests {
         p.submit(t(0.0), Channel::Write, FlowSpec::simple(1000.0));
         p.submit(t(5.0), Channel::Write, FlowSpec::simple(250.0));
         p.advance_to(t(20.0));
-        let s = p.total_series(Channel::Write).clone();
+        let s = p.total_series(Channel::Write);
         assert_eq!(s.value_at(t(1.0)), 100.0);
         assert_eq!(s.value_at(t(6.0)), 100.0); // still work-conserving
         assert_eq!(s.value_at(t(15.0)), 0.0);
@@ -849,7 +909,7 @@ mod tests {
         );
         p.submit(t(0.0), Channel::Write, FlowSpec::simple(500.0));
         p.advance_to(t(20.0));
-        let s = p.meter_series(m).clone();
+        let s = p.meter_series(m);
         assert_eq!(s.value_at(t(1.0)), 50.0);
         assert!((s.integral(t(0.0), t(20.0)) - 500.0).abs() < 1e-6);
     }

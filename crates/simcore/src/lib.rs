@@ -5,6 +5,8 @@
 //! * [`SimTime`] — NaN-free virtual time in seconds,
 //! * [`EventQueue`] — deterministic time-ordered event queue with FIFO
 //!   tie-breaking and O(1) cancellation,
+//! * [`GenSlab`] — the queue's generation-stamped slot-arena bookkeeping as
+//!   a reusable container (hash-free hot-path id maps),
 //! * [`stream_rng`] / [`Noise`] — reproducible per-stream randomness,
 //! * [`StepSeries`] — step-function time series for bandwidth plots,
 //! * [`stats`] — small numeric helpers for reports.
@@ -23,6 +25,7 @@ pub mod fault;
 mod queue;
 mod rng;
 mod series;
+mod slab;
 /// Numeric helpers (mean, percentiles, percentage splits).
 pub mod stats;
 mod time;
@@ -35,4 +38,5 @@ pub use fault::{
 pub use queue::{EventKey, EventQueue};
 pub use rng::{rank_phase_stream, stream_rng, Noise};
 pub use series::StepSeries;
+pub use slab::{GenKey, GenSlab};
 pub use time::SimTime;

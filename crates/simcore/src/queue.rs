@@ -206,6 +206,15 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// The next live event — timestamp and payload — without popping it.
+    /// Cancelled entries encountered on the way are discarded, exactly as
+    /// [`EventQueue::pop`] would.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        // peek_time purges the stale prefix, so the heap top is live.
+        self.peek_time()?;
+        self.heap.peek().map(|e| (e.time, &e.payload))
+    }
+
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {

@@ -53,6 +53,7 @@ mod strategy;
 pub mod trace;
 mod tracer;
 
+pub use regions::{max_region, sweep, IncrementalSweep, Interval};
 pub use report::{Decomposition, FaultEventRecord, Report};
 pub use strategy::{Strategy, StrategyState, LIMIT_FLOOR};
 pub use tracer::{

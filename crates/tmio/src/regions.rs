@@ -74,6 +74,160 @@ pub fn max_region(intervals: &[Interval]) -> f64 {
     sweep(intervals).max_value()
 }
 
+/// Streaming form of [`sweep`]: a maintained sorted-edge structure that
+/// accepts closed phases *as they arrive* and serves the aggregated series
+/// from a cache invalidated on append.
+///
+/// [`IncrementalSweep::push`] is O(1): the interval's two edges land in an
+/// unsorted pending buffer (the simulation hot path pushes once per closed
+/// phase, so no per-event sorting or tail shifting happens there). A query
+/// sorts only the edges pushed since the previous query and merges them into
+/// the kept sorted `(time, delta)` list — O(p log p + n) for p pending
+/// edges — so repeated mid-run queries stay incremental instead of
+/// re-collecting everything. [`IncrementalSweep::series`] replays the exact
+/// accumulation loop of [`sweep`] over the merged edges — same edge order,
+/// same summation order, same relative residue guard — so its output is
+/// bit-identical to `sweep` over the same intervals (property-tested in
+/// this module and in `tests/`).
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalSweep {
+    /// Edge list sorted by `(time, delta)` — removals before additions at
+    /// equal times, exactly like the oracle's sort.
+    events: Vec<(f64, f64)>,
+    /// Edges appended since the last merge, in push order.
+    pending: Vec<(f64, f64)>,
+    /// Resident merge output buffer, swapped with `events` at each merge.
+    scratch: Vec<(f64, f64)>,
+    /// Largest `|value|` ever pushed, including zero-length intervals (the
+    /// oracle computes its residue scale over *all* intervals).
+    max_abs: f64,
+    /// Intervals accepted so far (zero-length ones included).
+    n_intervals: usize,
+    /// Cached aggregation; `None` after an append.
+    cache: Option<StepSeries>,
+}
+
+impl IncrementalSweep {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty sweep pre-sized for `intervals` pushes.
+    pub fn with_capacity(intervals: usize) -> Self {
+        IncrementalSweep {
+            events: Vec::with_capacity(intervals * 2),
+            ..Self::default()
+        }
+    }
+
+    /// Number of intervals accepted so far.
+    pub fn len(&self) -> usize {
+        self.n_intervals
+    }
+
+    /// True when no interval has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n_intervals == 0
+    }
+
+    /// Accepts one closed interval, invalidating the cached series.
+    pub fn push(&mut self, iv: Interval) {
+        assert!(
+            !iv.ts.is_nan() && !iv.te.is_nan() && !iv.value.is_nan(),
+            "interval must be NaN-free"
+        );
+        debug_assert!(iv.te >= iv.ts, "interval must not be reversed");
+        self.n_intervals += 1;
+        self.max_abs = self.max_abs.max(iv.value.abs());
+        if iv.te > iv.ts {
+            self.pending.push((iv.ts, iv.value));
+            self.pending.push((iv.te, -iv.value));
+        }
+        self.cache = None;
+    }
+
+    /// Sorts the pending edges and merges them into the kept sorted list.
+    ///
+    /// An unstable sort is fine: only fully-equal `(t, delta)` tuples can be
+    /// reordered by it, and identical tuples are interchangeable in the
+    /// accumulation. Ties across the two lists keep the older edge first,
+    /// matching what edge-by-edge sorted insertion would have produced.
+    fn merge_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        out.reserve(self.events.len() + self.pending.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.events.len() && j < self.pending.len() {
+            let a = self.events[i];
+            let b = self.pending[j];
+            if a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)).is_le() {
+                out.push(a);
+                i += 1;
+            } else {
+                out.push(b);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&self.events[i..]);
+        out.extend_from_slice(&self.pending[j..]);
+        self.pending.clear();
+        self.scratch = std::mem::replace(&mut self.events, out);
+    }
+
+    /// The aggregated step series over everything pushed so far, rebuilt
+    /// from the maintained edges only when an append invalidated the cache.
+    pub fn series(&mut self) -> &StepSeries {
+        if self.cache.is_none() {
+            self.merge_pending();
+            self.cache = Some(self.rebuild());
+        }
+        self.cache.as_ref().invariant("cache just rebuilt")
+    }
+
+    /// `max_r` of the aggregated series (see [`max_region`]).
+    pub fn max_value(&mut self) -> f64 {
+        self.series().max_value()
+    }
+
+    /// Finalizes into the aggregated series.
+    pub fn into_series(mut self) -> StepSeries {
+        match self.cache.take() {
+            // A live cache implies no pending edges: every push clears it.
+            Some(s) => s,
+            None => {
+                self.merge_pending();
+                self.rebuild()
+            }
+        }
+    }
+
+    fn rebuild(&self) -> StepSeries {
+        // The oracle's accumulation loop, verbatim, over the kept edges.
+        let residue = 1e-9 * self.max_abs;
+        let mut series = StepSeries::new();
+        let mut sum = 0.0;
+        let mut i = 0;
+        while i < self.events.len() {
+            let t = self.events[i].0;
+            while i < self.events.len() && self.events[i].0 == t {
+                sum += self.events[i].1;
+                i += 1;
+            }
+            if sum.abs() <= residue {
+                sum = 0.0;
+            }
+            series.push(SimTime::from_secs(t), sum);
+        }
+        series
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,9 +6,13 @@ use crate::regions::{sweep, Interval};
 use crate::tracer::{AsyncSpan, ChannelKind, PhaseRecord, SyncInterval, ThroughputWindow};
 use serde::{Deserialize, Serialize};
 use simcore::{Invariant, StepSeries};
+use std::sync::OnceLock;
 
 /// Everything TMIO recorded about one run, plus modeled overheads.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are implemented by hand (below) so the cache
+/// fields stay out of the JSON trace format.
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Number of ranks traced.
     pub n_ranks: usize,
@@ -35,6 +39,68 @@ pub struct Report {
     pub faults: Vec<FaultEventRecord>,
     /// Total retry backoff time across ranks, seconds (fault injection).
     pub retry_time: f64,
+    /// Cached `B_r` sweep (Eq. 3); seeded from the tracer's streaming sweep
+    /// or computed lazily on first query. Not serialized.
+    pub(crate) required_cache: OnceLock<StepSeries>,
+    /// Cached `B_L` sweep. Not serialized.
+    pub(crate) limit_cache: OnceLock<StepSeries>,
+    /// Cached `T` sweep. Not serialized.
+    pub(crate) throughput_cache: OnceLock<StepSeries>,
+    /// Cached time decomposition. Not serialized.
+    pub(crate) decomposition_cache: OnceLock<Decomposition>,
+}
+
+/// The serialized field set, in trace-format order. The hand-written
+/// impls below must mirror what `#[derive(Serialize, Deserialize)]`
+/// produced before the cache fields existed, keeping the JSON trace
+/// format byte-compatible.
+macro_rules! report_fields {
+    ($m:ident) => {
+        $m!(
+            n_ranks,
+            strategy_name,
+            phases,
+            windows,
+            spans,
+            syncs,
+            rank_end,
+            calls,
+            peri_overhead,
+            post_overhead,
+            faults,
+            retry_time
+        )
+    };
+}
+
+impl Serialize for Report {
+    fn serialize(&self) -> serde::Value {
+        macro_rules! ser {
+            ($($f:ident),+) => {
+                serde::Value::Map(vec![
+                    $((String::from(stringify!($f)), Serialize::serialize(&self.$f)),)+
+                ])
+            };
+        }
+        report_fields!(ser)
+    }
+}
+
+impl Deserialize for Report {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        macro_rules! de {
+            ($($f:ident),+) => {
+                Report {
+                    $($f: Deserialize::deserialize(serde::__field(v, stringify!($f))?)?,)+
+                    required_cache: OnceLock::new(),
+                    limit_cache: OnceLock::new(),
+                    throughput_cache: OnceLock::new(),
+                    decomposition_cache: OnceLock::new(),
+                }
+            };
+        }
+        Ok(report_fields!(de))
+    }
 }
 
 /// One observed fault event: a sub-request retry or a terminal op error.
@@ -131,51 +197,75 @@ impl Decomposition {
 }
 
 impl Report {
+    /// Seeds the series caches from the tracer's streaming sweeps so the
+    /// first post-run query is free. The incremental sweep is bit-identical
+    /// to the from-scratch oracle (property-tested in `regions`), so seeded
+    /// and lazily computed series agree exactly.
+    pub(crate) fn seed_series_caches(
+        &self,
+        required: StepSeries,
+        limit: StepSeries,
+        throughput: StepSeries,
+    ) {
+        let _ = self.required_cache.set(required);
+        let _ = self.limit_cache.set(limit);
+        let _ = self.throughput_cache.set(throughput);
+    }
+
     /// Application-level required-bandwidth series `B_r` (Eq. 3, Fig. 4):
     /// the sweep over every rank-phase `[ts, te)` carrying `B_{i,j}`.
-    pub fn required_series(&self) -> StepSeries {
-        let iv: Vec<Interval> = self
-            .phases
-            .iter()
-            .map(|p| Interval {
-                ts: p.ts,
-                te: p.te,
-                value: p.b_required,
-            })
-            .collect();
-        sweep(&iv)
+    /// Computed once and cached (or pre-seeded by the tracer).
+    pub fn required_series(&self) -> &StepSeries {
+        self.required_cache.get_or_init(|| {
+            let iv: Vec<Interval> = self
+                .phases
+                .iter()
+                .map(|p| Interval {
+                    ts: p.ts,
+                    te: p.te,
+                    value: p.b_required,
+                })
+                .collect();
+            sweep(&iv)
+        })
     }
 
     /// Application-level limit series `B_L`: the sweep carrying each phase's
     /// in-effect limit (phases without a limit contribute nothing).
-    pub fn limit_series(&self) -> StepSeries {
-        let iv: Vec<Interval> = self
-            .phases
-            .iter()
-            .filter_map(|p| {
-                p.limit_during.map(|l| Interval {
-                    ts: p.ts,
-                    te: p.te,
-                    value: l,
+    /// Computed once and cached (or pre-seeded by the tracer).
+    pub fn limit_series(&self) -> &StepSeries {
+        self.limit_cache.get_or_init(|| {
+            let iv: Vec<Interval> = self
+                .phases
+                .iter()
+                .filter_map(|p| {
+                    p.limit_during.map(|l| Interval {
+                        ts: p.ts,
+                        te: p.te,
+                        value: l,
+                    })
                 })
-            })
-            .collect();
-        sweep(&iv)
+                .collect();
+            sweep(&iv)
+        })
     }
 
     /// Application-level throughput series `T`: the sweep over throughput
-    /// windows carrying `T_{i,j}`.
-    pub fn throughput_series(&self) -> StepSeries {
-        let iv: Vec<Interval> = self
-            .windows
-            .iter()
-            .map(|w| Interval {
-                ts: w.start,
-                te: w.end,
-                value: w.throughput(),
-            })
-            .collect();
-        sweep(&iv)
+    /// windows carrying `T_{i,j}`. Computed once and cached (or pre-seeded
+    /// by the tracer).
+    pub fn throughput_series(&self) -> &StepSeries {
+        self.throughput_cache.get_or_init(|| {
+            let iv: Vec<Interval> = self
+                .windows
+                .iter()
+                .map(|w| Interval {
+                    ts: w.start,
+                    te: w.end,
+                    value: w.throughput(),
+                })
+                .collect();
+            sweep(&iv)
+        })
     }
 
     /// `max_r B_r` — the minimal application-level bandwidth such that no
@@ -199,8 +289,15 @@ impl Report {
         self.rank_end.iter().copied().fold(0.0, f64::max)
     }
 
-    /// The stacked time decomposition (Figs. 6/7/11).
+    /// The stacked time decomposition (Figs. 6/7/11). Computed once and
+    /// cached.
     pub fn decomposition(&self) -> Decomposition {
+        *self
+            .decomposition_cache
+            .get_or_init(|| self.compute_decomposition())
+    }
+
+    fn compute_decomposition(&self) -> Decomposition {
         let mut d = Decomposition::default();
         for s in &self.syncs {
             let dur = (s.end - s.begin).max(0.0);
@@ -319,6 +416,10 @@ mod tests {
             post_overhead: 0.05,
             faults: Vec::new(),
             retry_time: 0.0,
+            required_cache: OnceLock::new(),
+            limit_cache: OnceLock::new(),
+            throughput_cache: OnceLock::new(),
+            decomposition_cache: OnceLock::new(),
         }
     }
 

@@ -14,12 +14,30 @@
 //! At each phase closure the configured [`Strategy`] turns `B_{i,j}` into the
 //! throughput limit for phase *j+1* and pushes it into the runtime through
 //! [`mpisim::Limits`] — the boundary to the "modified MPICH".
+//!
+//! # Streaming pipeline
+//!
+//! The tracer sits on the simulation's per-event hot path, so its matching
+//! and record storage are allocation-free in steady state:
+//!
+//! * open request spans live in a generation-stamped slot arena
+//!   ([`simcore::GenSlab`], the [`simcore::EventQueue`] bookkeeping design)
+//!   indexed per rank by [`ReqTag`] — no hashing, memory bounded by the
+//!   peak number of outstanding requests;
+//! * closed phase/window/span/sync records land in structure-of-arrays
+//!   tables pre-sized with `with_capacity`, materialized into the report's
+//!   serialized row format only once at [`Tracer::into_report`];
+//! * the application-level Eq. 3 aggregates (`B_r`, `B_L`, `T`) are
+//!   maintained *online* by [`IncrementalSweep`]s fed at each closure, so
+//!   mid-run queries and the final report reuse the same sorted-edge
+//!   structure instead of re-collecting and re-sorting every interval.
 
+use crate::regions::{IncrementalSweep, Interval};
 use crate::strategy::{Strategy, StrategyState};
 use mpisim::{Channel, IoHooks, Limits, ReqTag};
 use serde::{Deserialize, Serialize};
-use simcore::{Invariant, SimTime};
-use std::collections::HashMap;
+use simcore::StepSeries;
+use simcore::{GenKey, GenSlab, SimTime};
 
 /// How per-request bandwidths combine into the rank metric `B_{i,j}`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -222,6 +240,8 @@ struct Pending {
     ts: SimTime,
 }
 
+/// One open async request span, kept in the slot arena until both the
+/// completion and the matching wait have been observed.
 struct OpenSpan {
     submit: SimTime,
     complete: Option<SimTime>,
@@ -230,10 +250,79 @@ struct OpenSpan {
     channel: Channel,
 }
 
+/// Tags below this bound resolve through a direct per-rank array probe;
+/// larger (unusual) tag values fall back to a small linear-scan list so a
+/// hostile tag like `u32::MAX` cannot balloon the index.
+const DENSE_TAGS: u32 = 4096;
+
+const NO_SPAN: u64 = u64::MAX;
+
+/// Per-rank index from [`ReqTag`] to the slot-arena key of its open span.
+#[derive(Default)]
+struct TagIndex {
+    /// `tag -> packed GenKey` for tags `< DENSE_TAGS`; grown lazily to the
+    /// highest tag seen. `NO_SPAN` marks an empty cell.
+    dense: Vec<u64>,
+    /// Overflow entries for out-of-range tags (linear scan; rare).
+    sparse: Vec<(u32, u64)>,
+}
+
+impl TagIndex {
+    /// Binds `tag` to `key`, returning a displaced key if the tag was
+    /// already bound (mirrors `HashMap::insert` semantics).
+    fn insert(&mut self, tag: u32, key: GenKey) -> Option<GenKey> {
+        let key = key.as_u64();
+        if tag < DENSE_TAGS {
+            let i = tag as usize;
+            if i >= self.dense.len() {
+                self.dense.resize(i + 1, NO_SPAN);
+            }
+            let old = std::mem::replace(&mut self.dense[i], key);
+            (old != NO_SPAN).then(|| GenKey::from_u64(old))
+        } else {
+            match self.sparse.iter_mut().find(|(t, _)| *t == tag) {
+                Some(e) => Some(GenKey::from_u64(std::mem::replace(&mut e.1, key))),
+                None => {
+                    self.sparse.push((tag, key));
+                    None
+                }
+            }
+        }
+    }
+
+    fn get(&self, tag: u32) -> Option<GenKey> {
+        if tag < DENSE_TAGS {
+            match self.dense.get(tag as usize) {
+                Some(&k) if k != NO_SPAN => Some(GenKey::from_u64(k)),
+                _ => None,
+            }
+        } else {
+            self.sparse
+                .iter()
+                .find(|(t, _)| *t == tag)
+                .map(|&(_, k)| GenKey::from_u64(k))
+        }
+    }
+
+    fn remove(&mut self, tag: u32) -> Option<GenKey> {
+        if tag < DENSE_TAGS {
+            match self.dense.get_mut(tag as usize) {
+                Some(k) if *k != NO_SPAN => Some(GenKey::from_u64(std::mem::replace(k, NO_SPAN))),
+                _ => None,
+            }
+        } else {
+            let i = self.sparse.iter().position(|(t, _)| *t == tag)?;
+            Some(GenKey::from_u64(self.sparse.swap_remove(i).1))
+        }
+    }
+}
+
 struct RankTrace {
     phase: usize,
     queue: Vec<Pending>,
     waited: Vec<ReqTag>,
+    /// Open-span index of this rank's outstanding requests.
+    tags: TagIndex,
     tq_outstanding: usize,
     tq_start: SimTime,
     tq_bytes: f64,
@@ -246,8 +335,9 @@ impl RankTrace {
     fn new() -> Self {
         RankTrace {
             phase: 0,
-            queue: Vec::new(),
-            waited: Vec::new(),
+            queue: Vec::with_capacity(8),
+            waited: Vec::with_capacity(8),
+            tags: TagIndex::default(),
             tq_outstanding: 0,
             tq_start: SimTime::ZERO,
             tq_bytes: 0.0,
@@ -258,16 +348,229 @@ impl RankTrace {
     }
 }
 
+// ---------------------------------------------------------------------
+// Structure-of-arrays record tables. Hot-path pushes touch parallel
+// column vectors (pre-sized, no per-record allocation); the serialized
+// row structs are materialized once at `into_report`.
+
+#[derive(Default)]
+struct PhaseTable {
+    rank: Vec<u32>,
+    phase: Vec<u32>,
+    ts: Vec<f64>,
+    te: Vec<f64>,
+    bytes: Vec<f64>,
+    b_required: Vec<f64>,
+    limit_during: Vec<Option<f64>>,
+    limit_next: Vec<Option<f64>>,
+    n_requests: Vec<u32>,
+}
+
+impl PhaseTable {
+    fn with_capacity(n: usize) -> Self {
+        PhaseTable {
+            rank: Vec::with_capacity(n),
+            phase: Vec::with_capacity(n),
+            ts: Vec::with_capacity(n),
+            te: Vec::with_capacity(n),
+            bytes: Vec::with_capacity(n),
+            b_required: Vec::with_capacity(n),
+            limit_during: Vec::with_capacity(n),
+            limit_next: Vec::with_capacity(n),
+            n_requests: Vec::with_capacity(n),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        rank: usize,
+        phase: usize,
+        ts: f64,
+        te: f64,
+        bytes: f64,
+        b_required: f64,
+        limit_during: Option<f64>,
+        limit_next: Option<f64>,
+        n_requests: usize,
+    ) {
+        self.rank.push(rank as u32);
+        self.phase.push(phase as u32);
+        self.ts.push(ts);
+        self.te.push(te);
+        self.bytes.push(bytes);
+        self.b_required.push(b_required);
+        self.limit_during.push(limit_during);
+        self.limit_next.push(limit_next);
+        self.n_requests.push(n_requests as u32);
+    }
+
+    fn materialize(self) -> Vec<PhaseRecord> {
+        (0..self.rank.len())
+            .map(|i| PhaseRecord {
+                rank: self.rank[i] as usize,
+                phase: self.phase[i] as usize,
+                ts: self.ts[i],
+                te: self.te[i],
+                bytes: self.bytes[i],
+                b_required: self.b_required[i],
+                limit_during: self.limit_during[i],
+                limit_next: self.limit_next[i],
+                n_requests: self.n_requests[i] as usize,
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct WindowTable {
+    rank: Vec<u32>,
+    start: Vec<f64>,
+    end: Vec<f64>,
+    bytes: Vec<f64>,
+}
+
+impl WindowTable {
+    fn with_capacity(n: usize) -> Self {
+        WindowTable {
+            rank: Vec::with_capacity(n),
+            start: Vec::with_capacity(n),
+            end: Vec::with_capacity(n),
+            bytes: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, rank: usize, start: f64, end: f64, bytes: f64) {
+        self.rank.push(rank as u32);
+        self.start.push(start);
+        self.end.push(end);
+        self.bytes.push(bytes);
+    }
+
+    fn materialize(self) -> Vec<ThroughputWindow> {
+        (0..self.rank.len())
+            .map(|i| ThroughputWindow {
+                rank: self.rank[i] as usize,
+                start: self.start[i],
+                end: self.end[i],
+                bytes: self.bytes[i],
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct SpanTable {
+    rank: Vec<u32>,
+    submit: Vec<f64>,
+    complete: Vec<f64>,
+    wait_enter: Vec<f64>,
+    bytes: Vec<f64>,
+    channel: Vec<ChannelKind>,
+}
+
+impl SpanTable {
+    fn with_capacity(n: usize) -> Self {
+        SpanTable {
+            rank: Vec::with_capacity(n),
+            submit: Vec::with_capacity(n),
+            complete: Vec::with_capacity(n),
+            wait_enter: Vec::with_capacity(n),
+            bytes: Vec::with_capacity(n),
+            channel: Vec::with_capacity(n),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        rank: usize,
+        submit: f64,
+        complete: f64,
+        wait_enter: f64,
+        bytes: f64,
+        channel: ChannelKind,
+    ) {
+        self.rank.push(rank as u32);
+        self.submit.push(submit);
+        self.complete.push(complete);
+        self.wait_enter.push(wait_enter);
+        self.bytes.push(bytes);
+        self.channel.push(channel);
+    }
+
+    fn materialize(self) -> Vec<AsyncSpan> {
+        (0..self.rank.len())
+            .map(|i| AsyncSpan {
+                rank: self.rank[i] as usize,
+                submit: self.submit[i],
+                complete: self.complete[i],
+                wait_enter: self.wait_enter[i],
+                bytes: self.bytes[i],
+                channel: self.channel[i],
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct SyncTable {
+    rank: Vec<u32>,
+    begin: Vec<f64>,
+    end: Vec<f64>,
+    bytes: Vec<f64>,
+    channel: Vec<ChannelKind>,
+}
+
+impl SyncTable {
+    fn with_capacity(n: usize) -> Self {
+        SyncTable {
+            rank: Vec::with_capacity(n),
+            begin: Vec::with_capacity(n),
+            end: Vec::with_capacity(n),
+            bytes: Vec::with_capacity(n),
+            channel: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, rank: usize, begin: f64, end: f64, bytes: f64, channel: ChannelKind) {
+        self.rank.push(rank as u32);
+        self.begin.push(begin);
+        self.end.push(end);
+        self.bytes.push(bytes);
+        self.channel.push(channel);
+    }
+
+    fn materialize(self) -> Vec<SyncInterval> {
+        (0..self.rank.len())
+            .map(|i| SyncInterval {
+                rank: self.rank[i] as usize,
+                begin: self.begin[i],
+                end: self.end[i],
+                bytes: self.bytes[i],
+                channel: self.channel[i],
+            })
+            .collect()
+    }
+}
+
 /// The TMIO tracer. Register as the world's hooks, run, then call
 /// [`Tracer::into_report`].
 pub struct Tracer {
     cfg: TracerConfig,
     ranks: Vec<RankTrace>,
-    open_spans: HashMap<(usize, u32), OpenSpan>,
-    phases: Vec<PhaseRecord>,
-    windows: Vec<ThroughputWindow>,
-    spans: Vec<AsyncSpan>,
-    syncs: Vec<SyncInterval>,
+    /// Open async spans, keyed through each rank's [`TagIndex`].
+    open_spans: GenSlab<OpenSpan>,
+    phases: PhaseTable,
+    windows: WindowTable,
+    spans: SpanTable,
+    syncs: SyncTable,
+    /// Streaming Eq. 3 aggregates, fed at every phase/window closure.
+    req_sweep: IncrementalSweep,
+    lim_sweep: IncrementalSweep,
+    thr_sweep: IncrementalSweep,
+    /// Resident per-rank end times (the finalize gather's scratch).
+    rank_end: Vec<f64>,
     faults: Vec<crate::report::FaultEventRecord>,
     retry_time: f64,
     calls: u64,
@@ -276,14 +579,22 @@ pub struct Tracer {
 impl Tracer {
     /// Creates a tracer for `n_ranks` ranks.
     pub fn new(n_ranks: usize, cfg: TracerConfig) -> Self {
+        // Pre-size the record tables for a typical multi-phase run; the
+        // columns grow geometrically past this without churn.
+        let per_rank = 16;
+        let cap = n_ranks * per_rank;
         Tracer {
             cfg,
             ranks: (0..n_ranks).map(|_| RankTrace::new()).collect(),
-            open_spans: HashMap::new(),
-            phases: Vec::new(),
-            windows: Vec::new(),
-            spans: Vec::new(),
-            syncs: Vec::new(),
+            open_spans: GenSlab::with_capacity(n_ranks * 2),
+            phases: PhaseTable::with_capacity(cap),
+            windows: WindowTable::with_capacity(cap),
+            spans: SpanTable::with_capacity(cap),
+            syncs: SyncTable::with_capacity(n_ranks * 4),
+            req_sweep: IncrementalSweep::with_capacity(cap),
+            lim_sweep: IncrementalSweep::new(),
+            thr_sweep: IncrementalSweep::with_capacity(cap),
+            rank_end: vec![0.0; n_ranks],
             faults: Vec::new(),
             retry_time: 0.0,
             calls: 0,
@@ -293,6 +604,23 @@ impl Tracer {
     /// The configured strategy.
     pub fn config(&self) -> &TracerConfig {
         &self.cfg
+    }
+
+    /// Live application-level required-bandwidth series `B_r` over the
+    /// phases closed *so far* (the online view of Eq. 3; the report serves
+    /// the same series after the run).
+    pub fn live_required_series(&mut self) -> &StepSeries {
+        self.req_sweep.series()
+    }
+
+    /// Live application-level limit series `B_L` (closed phases so far).
+    pub fn live_limit_series(&mut self) -> &StepSeries {
+        self.lim_sweep.series()
+    }
+
+    /// Live application-level throughput series `T` (closed windows so far).
+    pub fn live_throughput_series(&mut self) -> &StepSeries {
+        self.thr_sweep.series()
     }
 
     fn call_overhead(&mut self) -> f64 {
@@ -329,48 +657,61 @@ impl Tracer {
         if let Some(l) = limit_next {
             limits.set(rank, Some(l));
         }
-        let record = PhaseRecord {
-            rank,
-            phase: rt.phase,
-            ts: rt.queue[0].ts.as_secs(),
-            te: te_s,
-            bytes,
-            b_required: b,
-            limit_during,
-            limit_next,
-            n_requests: n,
-        };
+        let ts = rt.queue[0].ts.as_secs();
+        let phase = rt.phase;
         rt.phase += 1;
         rt.queue.clear();
         rt.waited.clear();
-        self.phases.push(record);
+        self.phases
+            .push(rank, phase, ts, te_s, bytes, b, limit_during, limit_next, n);
+        self.req_sweep.push(Interval {
+            ts,
+            te: te_s,
+            value: b,
+        });
+        if let Some(l) = limit_during {
+            self.lim_sweep.push(Interval {
+                ts,
+                te: te_s,
+                value: l,
+            });
+        }
     }
 
     /// Finalizes and returns the report. `n_ranks` post-overhead is modeled
     /// here, mirroring TMIO's `MPI_Finalize` aggregation.
     pub fn into_report(self) -> crate::report::Report {
         let n_ranks = self.ranks.len();
-        let rank_end: Vec<f64> = self
-            .ranks
-            .iter()
-            .map(|r| r.end.map(|t| t.as_secs()).unwrap_or(0.0))
-            .collect();
         let peri_overhead = self.calls as f64 * self.cfg.peri_call_overhead;
         let post_overhead = self.cfg.post_model.overhead(n_ranks);
-        crate::report::Report {
+        let report = crate::report::Report {
             n_ranks,
             strategy_name: self.cfg.strategy.name().to_string(),
-            phases: self.phases,
-            windows: self.windows,
-            spans: self.spans,
-            syncs: self.syncs,
-            rank_end,
+            phases: self.phases.materialize(),
+            windows: self.windows.materialize(),
+            spans: self.spans.materialize(),
+            syncs: self.syncs.materialize(),
+            rank_end: self.rank_end,
             calls: self.calls,
             peri_overhead,
             post_overhead,
             faults: self.faults,
             retry_time: self.retry_time,
-        }
+            required_cache: std::sync::OnceLock::new(),
+            limit_cache: std::sync::OnceLock::new(),
+            throughput_cache: std::sync::OnceLock::new(),
+            decomposition_cache: std::sync::OnceLock::new(),
+        };
+        // Seed the report's series caches from the streaming sweeps: the
+        // incremental structure is bit-identical to the from-scratch oracle
+        // over the same closures (property-tested), so post-run queries skip
+        // the collect-and-sort entirely.
+        report.seed_series_caches(
+            self.req_sweep.into_series(),
+            self.lim_sweep.into_series(),
+            self.thr_sweep.into_series(),
+        );
+        report
     }
 }
 
@@ -392,21 +733,27 @@ impl IoHooks for Tracer {
         }
         rt.tq_outstanding += 1;
         rt.tq_bytes += bytes;
-        self.open_spans.insert(
-            (rank, tag.0),
-            OpenSpan {
-                submit: t,
-                complete: None,
-                wait_enter: None,
-                bytes,
-                channel,
-            },
-        );
+        let key = self.open_spans.insert(OpenSpan {
+            submit: t,
+            complete: None,
+            wait_enter: None,
+            bytes,
+            channel,
+        });
+        if let Some(stale) = self.ranks[rank].tags.insert(tag.0, key) {
+            // A resubmitted tag displaces its forgotten predecessor, as the
+            // old map-insert semantics did.
+            self.open_spans.remove(stale);
+        }
         self.call_overhead()
     }
 
     fn on_request_complete(&mut self, t: SimTime, rank: usize, tag: ReqTag) {
-        if let Some(span) = self.open_spans.get_mut(&(rank, tag.0)) {
+        if let Some(span) = self.ranks[rank]
+            .tags
+            .get(tag.0)
+            .and_then(|k| self.open_spans.get_mut(k))
+        {
             span.complete = Some(t);
         }
         self.try_close_span(rank, tag);
@@ -414,11 +761,14 @@ impl IoHooks for Tracer {
         debug_assert!(rt.tq_outstanding > 0);
         rt.tq_outstanding -= 1;
         if rt.tq_outstanding == 0 {
-            self.windows.push(ThroughputWindow {
-                rank,
-                start: rt.tq_start.as_secs(),
-                end: t.as_secs(),
-                bytes: rt.tq_bytes,
+            let start = rt.tq_start.as_secs();
+            let end = t.as_secs();
+            let bytes = rt.tq_bytes;
+            self.windows.push(rank, start, end, bytes);
+            self.thr_sweep.push(Interval {
+                ts: start,
+                te: end,
+                value: bytes / (end - start).max(1e-12),
             });
         }
     }
@@ -431,7 +781,11 @@ impl IoHooks for Tracer {
         _already_done: bool,
         limits: &mut Limits,
     ) -> f64 {
-        if let Some(span) = self.open_spans.get_mut(&(rank, tag.0)) {
+        if let Some(span) = self.ranks[rank]
+            .tags
+            .get(tag.0)
+            .and_then(|k| self.open_spans.get_mut(k))
+        {
             span.wait_enter = Some(t);
         }
         self.try_close_span(rank, tag);
@@ -482,13 +836,8 @@ impl IoHooks for Tracer {
         _limits: &mut Limits,
     ) -> f64 {
         let begin = self.ranks[rank].sync_begin;
-        self.syncs.push(SyncInterval {
-            rank,
-            begin: begin.as_secs(),
-            end: t.as_secs(),
-            bytes,
-            channel: channel.into(),
-        });
+        self.syncs
+            .push(rank, begin.as_secs(), t.as_secs(), bytes, channel.into());
         self.call_overhead()
     }
 
@@ -536,6 +885,7 @@ impl IoHooks for Tracer {
 
     fn on_rank_done(&mut self, t: SimTime, rank: usize) {
         self.ranks[rank].end = Some(t);
+        self.rank_end[rank] = t.as_secs();
     }
 }
 
@@ -543,21 +893,28 @@ impl Tracer {
     /// Emits the finished [`AsyncSpan`] once both completion and wait-enter
     /// are known.
     fn try_close_span(&mut self, rank: usize, tag: ReqTag) {
-        let key = (rank, tag.0);
+        let Some(key) = self.ranks[rank].tags.get(tag.0) else {
+            return;
+        };
         let ready = self
             .open_spans
-            .get(&key)
+            .get(key)
             .is_some_and(|s| s.complete.is_some() && s.wait_enter.is_some());
         if ready {
-            let s = self.open_spans.remove(&key).invariant("span present");
-            self.spans.push(AsyncSpan {
-                rank,
-                submit: s.submit.as_secs(),
-                complete: s.complete.invariant("complete set").as_secs(),
-                wait_enter: s.wait_enter.invariant("wait set").as_secs(),
-                bytes: s.bytes,
-                channel: s.channel.into(),
-            });
+            self.ranks[rank].tags.remove(tag.0);
+            if let Some(s) = self.open_spans.remove(key) {
+                let (Some(complete), Some(wait_enter)) = (s.complete, s.wait_enter) else {
+                    return;
+                };
+                self.spans.push(
+                    rank,
+                    s.submit.as_secs(),
+                    complete.as_secs(),
+                    wait_enter.as_secs(),
+                    s.bytes,
+                    s.channel.into(),
+                );
+            }
         }
     }
 }

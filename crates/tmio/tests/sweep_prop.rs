@@ -1,0 +1,131 @@
+//! Property-based equivalence of the streaming Eq. 3 sweep-line
+//! ([`tmio::IncrementalSweep`]) against the from-scratch oracle
+//! ([`tmio::sweep`]).
+//!
+//! The incremental structure claims *bit-identical* output — same edge
+//! order, same summation order, same residue guard — so every comparison
+//! here is on the raw `f64` bit patterns of the series points, not on
+//! approximate equality. Interval sets include the degenerate shapes real
+//! runs produce: zero-length phases (a request waited on at its own submit
+//! time), zero-value phases (fault-degraded requests that moved no bytes),
+//! tiny normalized magnitudes, and heavy same-timestamp stacking.
+
+use proptest::prelude::*;
+use simcore::StepSeries;
+use tmio::{sweep, IncrementalSweep, Interval};
+
+/// Bitwise comparison of two step series.
+fn bits(s: &StepSeries) -> Vec<(u64, u64)> {
+    s.points()
+        .iter()
+        .map(|&(t, v)| (t.to_bits(), v.to_bits()))
+        .collect()
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (
+        0.0f64..50.0,
+        // Durations: zero-length phases must flow through unharmed.
+        prop_oneof![Just(0.0f64), 0.0f64..5.0, Just(1.0f64)],
+        // Values: fault-degraded zeros, tiny normalized magnitudes, and
+        // bandwidth-scale numbers that stress the residue guard.
+        prop_oneof![Just(0.0f64), 1e-12f64..1e-9, 0.5f64..100.0, 1e8f64..1e10],
+    )
+        .prop_map(|(ts, dur, value)| Interval {
+            ts,
+            te: ts + dur,
+            value,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pushing intervals in arrival order yields the oracle's series,
+    /// bit for bit.
+    #[test]
+    fn incremental_matches_scratch(ivs in prop::collection::vec(arb_interval(), 0..60)) {
+        let oracle = sweep(&ivs);
+        let mut inc = IncrementalSweep::new();
+        for iv in &ivs {
+            inc.push(*iv);
+        }
+        prop_assert_eq!(bits(inc.series()), bits(&oracle));
+        prop_assert_eq!(inc.max_value().to_bits(), oracle.max_value().to_bits());
+        prop_assert_eq!(inc.len(), ivs.len());
+        prop_assert_eq!(bits(&inc.into_series()), bits(&oracle));
+    }
+
+    /// Arrival order is irrelevant: reversed feeding still matches the
+    /// oracle over the original set.
+    #[test]
+    fn arrival_order_is_irrelevant(ivs in prop::collection::vec(arb_interval(), 0..60)) {
+        let oracle = sweep(&ivs);
+        let mut inc = IncrementalSweep::with_capacity(ivs.len());
+        for iv in ivs.iter().rev() {
+            inc.push(*iv);
+        }
+        prop_assert_eq!(bits(inc.series()), bits(&oracle));
+    }
+
+    /// Querying between pushes (forcing rebuilds of the invalidated cache)
+    /// never perturbs later results, and every mid-run answer equals the
+    /// oracle over the prefix pushed so far.
+    #[test]
+    fn interleaved_queries_match_prefix_oracles(
+        ivs in prop::collection::vec(arb_interval(), 1..30),
+    ) {
+        let mut inc = IncrementalSweep::new();
+        for (i, iv) in ivs.iter().enumerate() {
+            inc.push(*iv);
+            let prefix_oracle = sweep(&ivs[..=i]);
+            prop_assert_eq!(bits(inc.series()), bits(&prefix_oracle));
+        }
+    }
+
+    /// Same-timestamp stacking (many identical phases, the collective-I/O
+    /// shape) collapses to one change point per boundary in both paths.
+    #[test]
+    fn identical_stacked_intervals(n in 1usize..40, value in 0.5f64..1e6) {
+        let iv = Interval { ts: 1.0, te: 2.0, value };
+        let ivs = vec![iv; n];
+        let oracle = sweep(&ivs);
+        let mut inc = IncrementalSweep::new();
+        for iv in &ivs {
+            inc.push(*iv);
+        }
+        prop_assert_eq!(bits(inc.series()), bits(&oracle));
+    }
+}
+
+/// Zero-length and zero-value phases contribute nothing to the series but
+/// still count toward the residue scale and the accepted-interval count,
+/// exactly as the oracle computes them.
+#[test]
+fn degenerate_phases_match_oracle() {
+    let ivs = [
+        Interval {
+            ts: 1.0,
+            te: 1.0,
+            value: 1e12,
+        },
+        Interval {
+            ts: 0.0,
+            te: 4.0,
+            value: 0.0,
+        },
+        Interval {
+            ts: 2.0,
+            te: 3.0,
+            value: 7.5,
+        },
+    ];
+    let oracle = sweep(&ivs);
+    let mut inc = IncrementalSweep::new();
+    for iv in &ivs {
+        inc.push(*iv);
+    }
+    assert_eq!(bits(inc.series()), bits(&oracle));
+    assert_eq!(inc.len(), 3);
+    assert!(!inc.is_empty());
+}
